@@ -1,0 +1,65 @@
+//! Live paper-vs-measured report: reruns the simulation sweeps and
+//! checks every headline claim of the paper against fresh numbers.
+//!
+//! ```text
+//! cargo run --release -p rtm-bench --bin report            # full fidelity
+//! cargo run --release -p rtm-bench --bin report -- --quick # ~30 s
+//! cargo run --release -p rtm-bench --bin report -- --out report.md
+//! ```
+//!
+//! Exits non-zero if any claim fails, so this doubles as a regression
+//! gate for the reproduction.
+
+use rtm_core::experiments::report::live_report;
+use rtm_core::experiments::SweepSettings;
+
+fn main() {
+    let mut quick = false;
+    let mut out: Option<std::path::PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --out needs a path");
+                    std::process::exit(2);
+                });
+                out = Some(v.into());
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let settings = if quick {
+        let mut s = SweepSettings::quick();
+        s.accesses = 60_000;
+        s.workloads = None;
+        s
+    } else {
+        SweepSettings::full()
+    };
+    eprintln!(
+        "running sweeps ({} workloads x 13 configurations x {} accesses)...",
+        settings.profiles().len(),
+        settings.accesses
+    );
+    let report = live_report(&settings);
+    let md = report.to_markdown();
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &md) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!("wrote {}", path.display());
+        }
+        None => println!("{md}"),
+    }
+    if report.pass_rate() < 1.0 {
+        eprintln!("REPRODUCTION REGRESSION: some claims failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p rtm-bench --bin repro -- --exp all
+//! cargo run --release -p rtm-bench --bin repro -- --exp fig11 --quick
+//! cargo run --release -p rtm-bench --bin repro -- --list
+//! ```
+
+use rtm_bench::{is_known_experiment, EXPERIMENTS};
+use rtm_core::experiments::{
+    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp,
+    RtVariant, SimSweep, SweepSettings,
+};
+use rtm_mem::hierarchy::LlcChoice;
+
+struct Options {
+    experiments: Vec<String>,
+    quick: bool,
+    csv_dir: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut experiments = Vec::new();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--exp" => {
+                let v = args.next().ok_or("--exp needs a value")?;
+                if !is_known_experiment(&v) {
+                    return Err(format!(
+                        "unknown experiment {v}; known: all, {}",
+                        EXPERIMENTS.join(", ")
+                    ));
+                }
+                experiments.push(v);
+            }
+            "--csv" => {
+                let v = args.next().ok_or("--csv needs a directory")?;
+                csv_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--quick" => quick = true,
+            "--list" => {
+                println!("all");
+                for e in EXPERIMENTS {
+                    println!("{e}");
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    Ok(Options { experiments, quick, csv_dir })
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let settings = if opts.quick {
+        let mut s = SweepSettings::quick();
+        s.accesses = 60_000;
+        s.workloads = None; // all workloads, short traces
+        s
+    } else {
+        SweepSettings::full()
+    };
+    let mc_trials: u64 = if opts.quick { 200_000 } else { 2_000_000 };
+
+    let wanted = |name: &str| {
+        opts.experiments
+            .iter()
+            .any(|e| e == "all" || e == name)
+    };
+
+    // Simulation sweeps are the expensive part; run each matrix once
+    // and let every figure that needs it slice the shared results.
+    let variant_sweep = if wanted("fig10") || wanted("fig11") || wanted("fig14") {
+        eprintln!(
+            "running racetrack-variant sweep ({} workloads x {} variants x {} accesses)...",
+            settings.profiles().len(),
+            RtVariant::ALL.len(),
+            settings.accesses
+        );
+        Some(SimSweep::run_variants(&settings, &RtVariant::ALL))
+    } else {
+        None
+    };
+    let choice_sweep = if wanted("fig16") || wanted("fig17") || wanted("fig18") {
+        eprintln!(
+            "running LLC-choice sweep ({} workloads x {} configs x {} accesses)...",
+            settings.profiles().len(),
+            LlcChoice::ALL.len(),
+            settings.accesses
+        );
+        Some(SimSweep::run_choices(&settings, &LlcChoice::ALL))
+    } else {
+        None
+    };
+
+    // Optional machine-readable CSV dumps for the simulation figures.
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(2);
+        }
+        let write = |name: &str, content: String| {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = std::fs::write(&path, content) {
+                eprintln!("error: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        };
+        if let Some(sweep) = &variant_sweep {
+            write("fig10", reliability_exp::figure10_from(sweep, &settings).csv());
+            write("fig11", reliability_exp::figure11_from(sweep, &settings).csv());
+            write("fig14", performance::figure14_from(sweep, &settings).csv());
+        }
+        if let Some(sweep) = &choice_sweep {
+            write("fig16", performance::figure16_from(sweep, &settings).csv());
+            write("fig17", energy_exp::figure17_from(sweep, &settings).csv());
+            write("fig18", energy_exp::figure18_from(sweep, &settings).csv());
+        }
+    }
+
+    let mut shown = 0;
+    let mut section = |name: &str, body: &dyn Fn() -> String| {
+        if wanted(name) {
+            println!("==================== {name} ====================");
+            println!("{}", body());
+            shown += 1;
+        }
+    };
+
+    section("fig1", &|| motivation::figure1().render());
+    section("fig4", &|| {
+        errormodel::figure4_experiment(mc_trials, 2015).render()
+    });
+    section("table2", &|| errormodel::table2_experiment().render());
+    section("fig7", &|| design::figure7_experiment().render());
+    section("table3", &|| design::table3_experiment().render());
+    section("table5", &|| design::table5_experiment().render());
+    section("fig10", &|| {
+        reliability_exp::figure10_from(variant_sweep.as_ref().expect("sweep ran"), &settings)
+            .render()
+    });
+    section("fig11", &|| {
+        reliability_exp::figure11_from(variant_sweep.as_ref().expect("sweep ran"), &settings)
+            .render()
+    });
+    section("fig12", &|| {
+        reliability_exp::render_figure12(&reliability_exp::figure12_experiment(5.12e9))
+    });
+    section("fig13", &|| {
+        design::render_figure13(&design::figure13_experiment())
+    });
+    section("fig14", &|| {
+        performance::figure14_from(variant_sweep.as_ref().expect("sweep ran"), &settings)
+            .render()
+    });
+    section("fig15", &|| {
+        performance::render_figure15(&performance::figure15_experiment(200))
+    });
+    section("fig16", &|| {
+        let f = performance::figure16_from(choice_sweep.as_ref().expect("sweep ran"), &settings);
+        let mut out = f.render();
+        out.push_str("\nProtection overhead vs unprotected racetrack memory:\n");
+        for (k, v) in performance::protection_overhead_summary(&f) {
+            out.push_str(&format!("  {k}: {:+.2}%\n", v * 100.0));
+        }
+        out
+    });
+    section("fig17", &|| {
+        energy_exp::figure17_from(choice_sweep.as_ref().expect("sweep ran"), &settings).render()
+    });
+    section("fig18", &|| {
+        let sweep = choice_sweep.as_ref().expect("sweep ran");
+        let f17 = energy_exp::figure17_from(sweep, &settings);
+        let f18 = energy_exp::figure18_from(sweep, &settings);
+        let mut out = f18.render();
+        out.push_str("\nHeadline energy deltas:\n");
+        for (k, v) in energy_exp::energy_summary(&f17, &f18) {
+            out.push_str(&format!("  {k}: {:+.1}%\n", v * 100.0));
+        }
+        out
+    });
+
+    section("ablation", &|| {
+        ablation::render_ablations(mc_trials / 4, 2015, 5.12e9)
+    });
+
+    if shown == 0 {
+        eprintln!("nothing to do");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,108 @@
+//! Trace tooling: record synthetic workload traces to disk, inspect
+//! them, and replay them through any LLC configuration.
+//!
+//! ```text
+//! trace-tool record canneal 500000 canneal.rtmt [seed]
+//! trace-tool info canneal.rtmt
+//! trace-tool replay canneal.rtmt rm-adaptive
+//! ```
+
+use rtm_mem::hierarchy::{Hierarchy, LlcChoice};
+use rtm_trace::replay::{read_trace, write_trace};
+use rtm_trace::{TraceGenerator, WorkloadProfile};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  trace-tool record <workload> <accesses> <file> [seed]\n  \
+         trace-tool info <file>\n  trace-tool replay <file> <llc>\n\n\
+         workloads: {}\nllcs: sram, stt-ram, rm-ideal, rm-bare, rm-pecc-o, rm-adaptive, rm-worst",
+        WorkloadProfile::parsec()
+            .iter()
+            .map(|p| p.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn llc_by_name(name: &str) -> Option<LlcChoice> {
+    Some(match name {
+        "sram" => LlcChoice::SramBaseline,
+        "stt-ram" => LlcChoice::SttRam,
+        "rm-ideal" => LlcChoice::RacetrackIdeal,
+        "rm-bare" => LlcChoice::RacetrackUnprotected,
+        "rm-pecc-o" => LlcChoice::RacetrackPeccO,
+        "rm-adaptive" => LlcChoice::RacetrackPeccSAdaptive,
+        "rm-worst" => LlcChoice::RacetrackPeccSWorst,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") if args.len() >= 4 => {
+            let Some(profile) = WorkloadProfile::by_name(&args[1]) else {
+                eprintln!("unknown workload {}", args[1]);
+                usage();
+            };
+            let n: usize = args[2].parse().unwrap_or_else(|_| usage());
+            let seed: u64 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2015);
+            let accesses = TraceGenerator::new(profile, seed).take_vec(n);
+            let file = std::fs::File::create(&args[3]).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", args[3]);
+                std::process::exit(2);
+            });
+            write_trace(std::io::BufWriter::new(file), &accesses).unwrap_or_else(|e| {
+                eprintln!("write failed: {e}");
+                std::process::exit(2);
+            });
+            println!("recorded {n} accesses of {} (seed {seed}) to {}", profile.name, args[3]);
+        }
+        Some("info") if args.len() == 2 => {
+            let file = std::fs::File::open(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", args[1]);
+                std::process::exit(2);
+            });
+            let accesses = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("read failed: {e}");
+                std::process::exit(2);
+            });
+            let writes = accesses.iter().filter(|a| a.is_write).count();
+            let lines: std::collections::HashSet<u64> =
+                accesses.iter().map(|a| a.addr >> 6).collect();
+            let max_addr = accesses.iter().map(|a| a.addr).max().unwrap_or(0);
+            println!("accesses:      {}", accesses.len());
+            println!("writes:        {} ({:.1}%)", writes, 100.0 * writes as f64 / accesses.len().max(1) as f64);
+            println!("unique lines:  {} ({} KiB touched)", lines.len(), lines.len() * 64 / 1024);
+            println!("address span:  {:.1} MiB", max_addr as f64 / (1 << 20) as f64);
+        }
+        Some("replay") if args.len() == 3 => {
+            let Some(choice) = llc_by_name(&args[2]) else {
+                eprintln!("unknown llc {}", args[2]);
+                usage();
+            };
+            let file = std::fs::File::open(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", args[1]);
+                std::process::exit(2);
+            });
+            let accesses = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("read failed: {e}");
+                std::process::exit(2);
+            });
+            let mut sys = Hierarchy::new(choice);
+            let r = sys.run_trace(&accesses);
+            println!("llc:           {choice}");
+            println!("cycles:        {}", r.cycles);
+            println!("llc miss rate: {:.2}%", r.llc.cache.miss_rate() * 100.0);
+            println!("shift ops:     {}", r.llc.shift_ops);
+            println!("shift cycles:  {}", r.shift_cycles);
+            println!("dyn energy:    {:.4} mJ", r.llc_dynamic_energy().as_millijoules());
+            println!(
+                "DUE MTTF:      {}",
+                rtm_util::units::format_mttf(r.due_mttf())
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,36 @@
+//! Shared helpers for the reproduction binaries and benches.
+//!
+//! The interesting entry point is the `repro` binary
+//! (`cargo run --release -p rtm-bench --bin repro -- --exp all`), which
+//! regenerates every table and figure of the paper's evaluation via the
+//! drivers in [`rtm_core::experiments`]. This library crate only hosts
+//! the experiment registry shared between the binary and the benches.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The experiment identifiers the `repro` binary accepts.
+pub const EXPERIMENTS: [&str; 16] = [
+    "fig1", "fig4", "table2", "fig7", "table3", "table5", "fig10", "fig11", "fig12", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "ablation",
+];
+
+/// True when `name` identifies a known experiment (or the `all`
+/// pseudo-experiment).
+pub fn is_known_experiment(name: &str) -> bool {
+    name == "all" || EXPERIMENTS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(EXPERIMENTS.len(), 16);
+        assert!(is_known_experiment("all"));
+        assert!(is_known_experiment("fig16"));
+        assert!(is_known_experiment("ablation"));
+        assert!(!is_known_experiment("fig99"));
+    }
+}

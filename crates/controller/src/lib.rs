@@ -1,0 +1,46 @@
+//! The position-error-aware shift controller — Section 5 of the Hi-fi
+//! Playback paper.
+//!
+//! The controller wraps every shift in a protected transaction: the STS
+//! driver issues the two-stage pulse, the p-ECC check logic reads the
+//! code taps, and a corrective back-shift repairs correctable errors.
+//! On top sits the **safe distance** machinery: long shifts are split
+//! into sequences of shorter ones so the per-operation residual risk
+//! stays under the reliability budget, either conservatively for the
+//! worst-case access rate ("p-ECC-S worst") or adaptively from the
+//! measured inter-shift interval ("p-ECC-S adaptive").
+//!
+//! * [`safety`] — safe-distance arithmetic (the paper's Table 3a);
+//! * [`sequence`] — Algorithm 1: minimum-latency shift sequences under
+//!   a risk bound (Table 3b), with the interval-threshold table the
+//!   adapter indexes at run time;
+//! * [`controller`] — the shift controller proper: planning, statistics
+//!   and residual-risk accounting for the architecture simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtm_controller::controller::{ShiftController, ShiftPolicy};
+//! use rtm_pecc::layout::ProtectionKind;
+//!
+//! let mut ctl = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+//! ctl.plan_shift(1, 0); // warm up the interval counter
+//! // A 7-step request arriving after a long idle period may run as a
+//! // single shift...
+//! let relaxed = ctl.plan_shift(7, 3_000_000);
+//! assert_eq!(relaxed.sequence, vec![7]);
+//! // ...but under back-to-back traffic it is split for safety.
+//! let tight = ctl.plan_shift(7, 3_000_004);
+//! assert!(tight.sequence.len() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod controller;
+pub mod safety;
+pub mod sequence;
+
+pub use controller::{ShiftController, ShiftPlan, ShiftPolicy};
+pub use safety::SafetyBudget;
+pub use sequence::SequenceTable;

@@ -1,0 +1,185 @@
+//! Safe-distance arithmetic — Section 5.2 and Table 3(a).
+//!
+//! MTTF is statistical: if a memory performs `I` shift operations per
+//! second and each carries residual (post-correction) error probability
+//! `p`, then `MTTF = 1 / (p · I)`. Given a reliability target `T`, the
+//! per-shift budget is `p ≤ 1 / (T · I)`, and the **safe distance** is
+//! the longest single-shift distance whose residual rate stays inside
+//! that budget.
+//!
+//! Under SECDED, ±1 errors are corrected on the spot, so the residual
+//! risk of one shift is its **±2-step** rate — the second column of the
+//! paper's Table 2. Reproducing the paper's Table 3(a) pairs
+//! (distance 1 ↔ 4.53 G shifts/s, …, distance 7 ↔ 0.82 K) fixes the
+//! implied reliability target at `T ≈ 1.61 × 10¹¹ s` (about 5,100
+//! years; failure rate λ ≈ 6.2 × 10⁻¹² per second), which this module
+//! exposes as [`PAPER_RELIABILITY_TARGET`].
+
+use rtm_model::rates::OutOfStepRates;
+use rtm_util::units::Seconds;
+
+/// The reliability target implied by the paper's Table 3 (seconds).
+pub const PAPER_RELIABILITY_TARGET: Seconds = Seconds(1.61e11);
+
+/// A per-shift residual-risk budget derived from a reliability target.
+#[derive(Debug, Clone)]
+pub struct SafetyBudget {
+    rates: OutOfStepRates,
+    target: Seconds,
+    /// Which ±k column constitutes *residual* risk (2 for SECDED:
+    /// ±1 is corrected; 1 for detection-only schemes).
+    residual_k: u32,
+}
+
+impl SafetyBudget {
+    /// Creates a budget for a memory that corrects up to `m` steps.
+    ///
+    /// The residual column is `m + 1` (the first uncorrectable
+    /// magnitude).
+    pub fn new(rates: OutOfStepRates, target: Seconds, m: u32) -> Self {
+        Self {
+            rates,
+            target,
+            residual_k: m + 1,
+        }
+    }
+
+    /// The paper's configuration: SECDED residuals against the implied
+    /// Table 3 target.
+    pub fn paper_secded() -> Self {
+        Self::new(
+            OutOfStepRates::paper_calibration(),
+            PAPER_RELIABILITY_TARGET,
+            1,
+        )
+    }
+
+    /// The reliability target.
+    pub fn target(&self) -> Seconds {
+        self.target
+    }
+
+    /// The rate table.
+    pub fn rates(&self) -> &OutOfStepRates {
+        &self.rates
+    }
+
+    /// Residual error probability of a single `distance`-step shift.
+    pub fn residual_rate(&self, distance: u32) -> f64 {
+        self.rates.rate(distance, self.residual_k)
+    }
+
+    /// Residual error probability of a shift *sequence* (risks add).
+    pub fn sequence_rate(&self, seq: &[u32]) -> f64 {
+        seq.iter().map(|&d| self.residual_rate(d)).sum()
+    }
+
+    /// Maximum tolerable per-shift error probability at `intensity`
+    /// shift operations per second.
+    pub fn max_rate_at(&self, intensity: f64) -> f64 {
+        assert!(intensity > 0.0, "intensity must be positive");
+        1.0 / (self.target.as_secs() * intensity)
+    }
+
+    /// The safe distance at `intensity` shifts/s: the longest distance
+    /// whose residual rate fits the budget, or `None` when even 1-step
+    /// shifts do not fit (the memory is simply too hot for the target).
+    pub fn safe_distance_at(&self, intensity: f64) -> Option<u32> {
+        let budget = self.max_rate_at(intensity);
+        let mut best = None;
+        for d in 1..=rtm_model::rates::MAX_TABULATED_DISTANCE {
+            if self.residual_rate(d) <= budget {
+                best = Some(d);
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// The maximum shift intensity (operations per second) at which
+    /// `distance`-step shifts stay inside the budget — the paper's
+    /// Table 3(a) right column.
+    pub fn max_intensity_for(&self, distance: u32) -> f64 {
+        1.0 / (self.target.as_secs() * self.residual_rate(distance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3a_intensities_reproduce() {
+        // Paper Table 3(a): distance → max intensity.
+        let budget = SafetyBudget::paper_secded();
+        let expect = [
+            (1u32, 4.53e9),
+            (2, 518e6),
+            (3, 111e6),
+            (4, 34.3e6),
+            (5, 13.9e6),
+            (6, 621e3),
+            (7, 0.82e3),
+        ];
+        for (d, want) in expect {
+            let got = budget.max_intensity_for(d);
+            let ratio = got / want;
+            assert!(
+                (0.8..1.25).contains(&ratio),
+                "distance {d}: got {got:.3e}, paper {want:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn conservative_safe_distance_matches_paper() {
+        // Section 5.2: a 128 MB memory supporting up to 83 M accesses/s
+        // gets a conservative safe distance of 3 steps.
+        let budget = SafetyBudget::paper_secded();
+        assert_eq!(budget.safe_distance_at(83e6), Some(3));
+    }
+
+    #[test]
+    fn safe_distance_monotone_in_intensity() {
+        let budget = SafetyBudget::paper_secded();
+        let mut prev = u32::MAX;
+        for intensity in [1e3, 1e5, 1e7, 1e9, 1e10] {
+            let d = budget.safe_distance_at(intensity).unwrap_or(0);
+            assert!(d <= prev, "safe distance must shrink as intensity grows");
+            prev = d;
+        }
+        // Low-intensity traffic may use the full 7-step shift.
+        assert_eq!(budget.safe_distance_at(100.0), Some(7));
+        // Absurd intensity admits nothing.
+        assert_eq!(budget.safe_distance_at(1e22), None);
+    }
+
+    #[test]
+    fn sequence_rate_adds() {
+        let budget = SafetyBudget::paper_secded();
+        let single = budget.residual_rate(2);
+        assert!((budget.sequence_rate(&[2, 2]) - 2.0 * single).abs() < 1e-30);
+        assert_eq!(budget.sequence_rate(&[]), 0.0);
+    }
+
+    #[test]
+    fn detection_only_budget_uses_k1() {
+        // For SED (m = 0) the residual is the ±1 column: far larger.
+        let sed = SafetyBudget::new(
+            OutOfStepRates::paper_calibration(),
+            PAPER_RELIABILITY_TARGET,
+            0,
+        );
+        let secded = SafetyBudget::paper_secded();
+        assert!(sed.residual_rate(7) > secded.residual_rate(7) * 1e10);
+        // SED can never meet the target at any realistic intensity.
+        assert_eq!(sed.safe_distance_at(1e6), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_intensity_rejected() {
+        let _ = SafetyBudget::paper_secded().max_rate_at(0.0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The top-level design description and component factory.
+
+use rtm_controller::controller::{ShiftController, ShiftPolicy};
+use rtm_controller::safety::{SafetyBudget, PAPER_RELIABILITY_TARGET};
+use rtm_model::params::DeviceParams;
+use rtm_model::rates::OutOfStepRates;
+use rtm_model::sts::StsTiming;
+use rtm_pecc::layout::{LayoutError, PeccLayout, ProtectionKind};
+use rtm_pecc::protected::ProtectedStripe;
+use rtm_track::geometry::{GeometryError, StripeGeometry};
+use rtm_util::units::Seconds;
+use std::fmt;
+
+/// Errors building a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The data/port geometry is invalid.
+    Geometry(GeometryError),
+    /// The protection strength does not fit the geometry.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Geometry(e) => write!(f, "geometry: {e}"),
+            ConfigError::Layout(e) => write!(f, "layout: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl From<GeometryError> for ConfigError {
+    fn from(e: GeometryError) -> Self {
+        ConfigError::Geometry(e)
+    }
+}
+
+impl From<LayoutError> for ConfigError {
+    fn from(e: LayoutError) -> Self {
+        ConfigError::Layout(e)
+    }
+}
+
+/// A complete description of a protected racetrack memory design.
+///
+/// Construct with [`RtmConfig::paper_default`] or via the builder
+/// methods, then instantiate components with the `build_*` methods.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_core::config::RtmConfig;
+/// use rtm_pecc::layout::ProtectionKind;
+///
+/// let config = RtmConfig::paper_default()
+///     .with_geometry(128, 8)
+///     .unwrap()
+///     .with_protection(ProtectionKind::Correcting { m: 2 })
+///     .unwrap();
+/// assert_eq!(config.layout().extra_read_ports, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RtmConfig {
+    geometry: StripeGeometry,
+    kind: ProtectionKind,
+    policy: ShiftPolicy,
+    device: DeviceParams,
+    timing: StsTiming,
+    rates: OutOfStepRates,
+    reliability_target: Seconds,
+    layout: PeccLayout,
+}
+
+impl RtmConfig {
+    /// The paper's evaluated design: a 64-domain, 8-port stripe with
+    /// SECDED p-ECC under the adaptive safe-distance policy, Table 1
+    /// device physics and the Table 2 rate calibration.
+    pub fn paper_default() -> Self {
+        let geometry = StripeGeometry::paper_default();
+        let kind = ProtectionKind::SECDED;
+        Self {
+            geometry,
+            kind,
+            policy: ShiftPolicy::Adaptive,
+            device: DeviceParams::table1(),
+            timing: StsTiming::paper(),
+            rates: OutOfStepRates::paper_calibration(),
+            reliability_target: PAPER_RELIABILITY_TARGET,
+            layout: PeccLayout::new(geometry, kind).expect("paper default is valid"),
+        }
+    }
+
+    /// Replaces the stripe geometry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invalid geometry or an incompatible protection
+    /// strength.
+    pub fn with_geometry(mut self, data_len: usize, ports: usize) -> Result<Self, ConfigError> {
+        self.geometry = StripeGeometry::new(data_len, ports)?;
+        self.layout = PeccLayout::new(self.geometry, self.kind)?;
+        Ok(self)
+    }
+
+    /// Replaces the protection scheme.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the strength does not fit the current geometry.
+    pub fn with_protection(mut self, kind: ProtectionKind) -> Result<Self, ConfigError> {
+        self.layout = PeccLayout::new(self.geometry, kind)?;
+        self.kind = kind;
+        Ok(self)
+    }
+
+    /// Replaces the shift policy.
+    pub fn with_policy(mut self, policy: ShiftPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the device physics (e.g. a different drive ratio or
+    /// variation scale) and regenerates the rate table from the model.
+    pub fn with_device(mut self, device: DeviceParams) -> Self {
+        self.device = device;
+        self.rates = OutOfStepRates::from_noise_model(
+            &rtm_model::shift::NoiseModel::from_params(&device),
+        );
+        self
+    }
+
+    /// Overrides the rate calibration directly.
+    pub fn with_rates(mut self, rates: OutOfStepRates) -> Self {
+        self.rates = rates;
+        self
+    }
+
+    /// Sets the reliability target used for safe-distance planning.
+    pub fn with_reliability_target(mut self, target: Seconds) -> Self {
+        self.reliability_target = target;
+        self
+    }
+
+    /// The stripe geometry.
+    pub fn geometry(&self) -> &StripeGeometry {
+        &self.geometry
+    }
+
+    /// The protection scheme.
+    pub fn protection(&self) -> ProtectionKind {
+        self.kind
+    }
+
+    /// The shift policy.
+    pub fn policy(&self) -> ShiftPolicy {
+        self.policy
+    }
+
+    /// The physical budget of the protected stripe.
+    pub fn layout(&self) -> &PeccLayout {
+        &self.layout
+    }
+
+    /// The device physics.
+    pub fn device(&self) -> &DeviceParams {
+        &self.device
+    }
+
+    /// The rate calibration.
+    pub fn rates(&self) -> &OutOfStepRates {
+        &self.rates
+    }
+
+    /// The STS timing model.
+    pub fn timing(&self) -> &StsTiming {
+        &self.timing
+    }
+
+    /// Builds the error-aware shift controller for this design.
+    pub fn build_controller(&self) -> ShiftController {
+        ShiftController::with_parts(
+            self.kind,
+            self.policy,
+            self.timing,
+            SafetyBudget::new(
+                self.rates.clone(),
+                self.reliability_target,
+                self.kind.strength(),
+            ),
+            self.geometry.max_shift().max(1) as u32,
+        )
+    }
+
+    /// Builds a bit-accurate protected stripe for this design.
+    pub fn build_stripe(&self) -> ProtectedStripe {
+        ProtectedStripe::new(self.geometry, self.kind).expect("layout was validated")
+    }
+}
+
+impl Default for RtmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl fmt::Display for RtmConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with {:?} policy", self.layout, self.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_consistent() {
+        let c = RtmConfig::paper_default();
+        assert_eq!(c.geometry().data_len(), 64);
+        assert_eq!(c.protection(), ProtectionKind::SECDED);
+        assert_eq!(c.layout().extra_read_ports, 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_combinations() {
+        assert!(RtmConfig::paper_default().with_geometry(10, 3).is_err());
+        // Lseg = 2 cannot carry SECDED.
+        let narrow = RtmConfig::paper_default().with_geometry(64, 32).unwrap_err();
+        assert!(matches!(narrow, ConfigError::Layout(_)));
+    }
+
+    #[test]
+    fn built_controller_honours_policy() {
+        let mut ctl = RtmConfig::paper_default()
+            .with_policy(ShiftPolicy::StepByStep)
+            .build_controller();
+        assert_eq!(ctl.plan_shift(4, 0).sequence, vec![1; 4]);
+    }
+
+    #[test]
+    fn built_stripe_matches_layout() {
+        let c = RtmConfig::paper_default();
+        let s = c.build_stripe();
+        assert_eq!(s.layout().kind, ProtectionKind::SECDED);
+    }
+
+    #[test]
+    fn with_device_regenerates_rates() {
+        let hot = RtmConfig::paper_default()
+            .with_device(DeviceParams::table1().with_variation_scale(2.0));
+        let base = RtmConfig::paper_default();
+        assert!(hot.rates().rate(7, 1) > base.rates().rate(7, 1));
+    }
+
+    #[test]
+    fn display_mentions_scheme() {
+        let s = RtmConfig::paper_default().to_string();
+        assert!(s.contains("SECDED"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Fig. 1 — MTTF of a racetrack LLC against the per-stripe position
+//! error rate.
+
+use super::render_table;
+use rtm_reliability::figure1::{
+    figure1_curve, paper_effective_intensity, required_rate, Figure1Point, REFERENCE_LINES,
+};
+use rtm_util::units::{format_mttf, Seconds};
+
+/// The Fig. 1 experiment output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1 {
+    /// The curve points (log-spaced rates).
+    pub points: Vec<Figure1Point>,
+    /// Error rate required for the 10-year DUE target.
+    pub ten_year_rate: f64,
+    /// Error rate required for the 1000-year SDC target.
+    pub thousand_year_rate: f64,
+}
+
+/// Runs the Fig. 1 sweep over the paper's plotted rate range.
+pub fn figure1() -> Figure1 {
+    Figure1 {
+        points: figure1_curve(1e-24, 1e-2, 2, paper_effective_intensity()),
+        ten_year_rate: required_rate(Seconds::from_years(10.0)),
+        thousand_year_rate: required_rate(Seconds::from_years(1000.0)),
+    }
+}
+
+impl Figure1 {
+    /// Renders the curve as a text table with the paper's reference
+    /// lines marked.
+    pub fn render(&self) -> String {
+        let mut rows = vec![vec![
+            "error rate / stripe".to_string(),
+            "MTTF".to_string(),
+            "crosses".to_string(),
+        ]];
+        let mut prev_mttf = f64::INFINITY;
+        for p in &self.points {
+            let mut crossed = Vec::new();
+            for (name, line) in REFERENCE_LINES {
+                if p.mttf.as_secs() <= line && prev_mttf > line {
+                    crossed.push(name);
+                }
+            }
+            prev_mttf = p.mttf.as_secs();
+            rows.push(vec![
+                format!("{:.1e}", p.error_rate),
+                format_mttf(p.mttf),
+                crossed.join(", "),
+            ]);
+        }
+        let mut out = String::from("Figure 1: MTTF of a racetrack LLC vs position error rate\n\n");
+        out.push_str(&render_table(&rows));
+        out.push_str(&format!(
+            "\n10-year MTTF requires rate <= {:.1e} (paper: ~1e-19)\n",
+            self.ten_year_rate
+        ));
+        out.push_str(&format!(
+            "1000-year MTTF requires rate <= {:.1e}\n",
+            self.thousand_year_rate
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_year_anchor_matches_paper() {
+        let f = figure1();
+        assert!((1e-20..1e-18).contains(&f.ten_year_rate));
+        assert!(f.thousand_year_rate < f.ten_year_rate);
+    }
+
+    #[test]
+    fn render_contains_reference_crossings() {
+        let text = figure1().render();
+        for (name, _) in REFERENCE_LINES {
+            assert!(text.contains(name), "missing reference {name}");
+        }
+        assert!(text.contains("Figure 1"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared simulation sweep machinery: run every (workload × LLC
+//! configuration) pair once and let the figure drivers slice the
+//! results.
+
+use rtm_controller::controller::ShiftPolicy;
+use rtm_mem::hierarchy::{Hierarchy, LlcChoice, SimResult};
+use rtm_pecc::layout::ProtectionKind;
+use rtm_trace::{TraceGenerator, WorkloadProfile};
+use std::collections::BTreeMap;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepSettings {
+    /// Accesses driven per (workload, configuration) pair.
+    pub accesses: u64,
+    /// RNG seed base (per-workload seeds derive from it).
+    pub seed: u64,
+    /// Workload subset (`None` = all twelve).
+    pub workloads: Option<Vec<&'static str>>,
+}
+
+impl SweepSettings {
+    /// Full-fidelity settings for the repro binaries: traces long
+    /// enough that capacity-sensitive working sets overflow the smaller
+    /// LLCs (the effect Figs. 16-18 hinge on).
+    pub fn full() -> Self {
+        Self {
+            accesses: 2_000_000,
+            seed: 2015,
+            workloads: None,
+        }
+    }
+
+    /// Small settings for unit tests.
+    pub fn quick() -> Self {
+        Self {
+            accesses: 25_000,
+            seed: 2015,
+            workloads: Some(vec!["canneal", "swaptions", "streamcluster"]),
+        }
+    }
+
+    /// The workload profiles this sweep covers, in display order.
+    pub fn profiles(&self) -> Vec<WorkloadProfile> {
+        let all = WorkloadProfile::parsec();
+        match &self.workloads {
+            None => all.to_vec(),
+            Some(names) => names
+                .iter()
+                .filter_map(|n| WorkloadProfile::by_name(n))
+                .collect(),
+        }
+    }
+}
+
+/// A racetrack LLC variant beyond the named presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RtVariant {
+    /// Unprotected, unconstrained distances (the baseline).
+    Baseline,
+    /// SED p-ECC (detect-only), unconstrained distances.
+    Sed,
+    /// SECDED p-ECC, unconstrained distances.
+    Secded,
+    /// SECDED p-ECC-O (1-step shift-and-write).
+    SecdedO,
+    /// SECDED p-ECC with the worst-case safe distance.
+    SecdedSafeWorst,
+    /// SECDED p-ECC with the adaptive safe distance.
+    SecdedSafeAdaptive,
+}
+
+impl RtVariant {
+    /// All variants in the paper's legend order.
+    pub const ALL: [RtVariant; 6] = [
+        RtVariant::Baseline,
+        RtVariant::Sed,
+        RtVariant::Secded,
+        RtVariant::SecdedO,
+        RtVariant::SecdedSafeWorst,
+        RtVariant::SecdedSafeAdaptive,
+    ];
+
+    /// The (protection, policy) pair this variant simulates.
+    pub fn parts(&self) -> (ProtectionKind, ShiftPolicy) {
+        match self {
+            RtVariant::Baseline => (ProtectionKind::None, ShiftPolicy::Unconstrained),
+            RtVariant::Sed => (ProtectionKind::Sed, ShiftPolicy::Unconstrained),
+            RtVariant::Secded => (ProtectionKind::SECDED, ShiftPolicy::Unconstrained),
+            RtVariant::SecdedO => (ProtectionKind::SECDED_O, ShiftPolicy::StepByStep),
+            RtVariant::SecdedSafeWorst => (
+                ProtectionKind::SECDED,
+                ShiftPolicy::FixedSafe {
+                    worst_intensity_hz: 83_000_000,
+                },
+            ),
+            RtVariant::SecdedSafeAdaptive => (ProtectionKind::SECDED, ShiftPolicy::Adaptive),
+        }
+    }
+
+    /// Paper legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RtVariant::Baseline => "Baseline",
+            RtVariant::Sed => "SED p-ECC",
+            RtVariant::Secded => "SECDED p-ECC",
+            RtVariant::SecdedO => "SECDED p-ECC-O",
+            RtVariant::SecdedSafeWorst => "SECDED p-ECC-S worst",
+            RtVariant::SecdedSafeAdaptive => "SECDED p-ECC-S adaptive",
+        }
+    }
+}
+
+/// Results of a sweep, keyed by workload name.
+#[derive(Debug, Clone, Default)]
+pub struct SimSweep {
+    /// Per-workload results for named LLC choices (Figs. 16-18).
+    pub by_choice: BTreeMap<&'static str, BTreeMap<String, SimResult>>,
+    /// Per-workload results for racetrack variants (Figs. 10/11/14).
+    pub by_variant: BTreeMap<&'static str, BTreeMap<String, SimResult>>,
+}
+
+impl SimSweep {
+    /// Runs every workload against the named LLC choices.
+    pub fn run_choices(settings: &SweepSettings, choices: &[LlcChoice]) -> Self {
+        let mut sweep = Self::default();
+        for p in settings.profiles() {
+            let mut per = BTreeMap::new();
+            for &c in choices {
+                let mut sys = Hierarchy::new(c);
+                let mut gen =
+                    TraceGenerator::new(p, rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)));
+                per.insert(c.to_string(), sys.run(&mut gen, settings.accesses));
+            }
+            sweep.by_choice.insert(p.name, per);
+        }
+        sweep
+    }
+
+    /// Runs every workload against racetrack protection variants.
+    pub fn run_variants(settings: &SweepSettings, variants: &[RtVariant]) -> Self {
+        let mut sweep = Self::default();
+        for p in settings.profiles() {
+            let mut per = BTreeMap::new();
+            for &v in variants {
+                let (kind, policy) = v.parts();
+                let mut sys = Hierarchy::with_racetrack(kind, policy);
+                let mut gen =
+                    TraceGenerator::new(p, rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)));
+                per.insert(v.label().to_string(), sys.run(&mut gen, settings.accesses));
+            }
+            sweep.by_variant.insert(p.name, per);
+        }
+        sweep
+    }
+}
+
+fn seed_of(name: &str) -> u64 {
+    name.bytes().fold(0u64, |acc, b| {
+        acc.wrapping_mul(131).wrapping_add(b as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_covers_requested_matrix() {
+        let s = SweepSettings::quick();
+        let sweep = SimSweep::run_choices(&s, &[LlcChoice::SramBaseline, LlcChoice::RacetrackIdeal]);
+        assert_eq!(sweep.by_choice.len(), 3);
+        for per in sweep.by_choice.values() {
+            assert_eq!(per.len(), 2);
+            for r in per.values() {
+                assert_eq!(r.accesses, s.accesses);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_sweep_runs_custom_racetracks() {
+        let mut s = SweepSettings::quick();
+        s.workloads = Some(vec!["x264"]);
+        let sweep = SimSweep::run_variants(&s, &[RtVariant::Baseline, RtVariant::Sed]);
+        let per = &sweep.by_variant["x264"];
+        assert!(per.contains_key("Baseline"));
+        assert!(per.contains_key("SED p-ECC"));
+        // SED detects (DUE mass); baseline does not.
+        assert!(per["SED p-ECC"].llc.expected_dues > 0.0);
+        assert_eq!(per["Baseline"].llc.expected_dues, 0.0);
+    }
+
+    #[test]
+    fn same_settings_same_results() {
+        let mut s = SweepSettings::quick();
+        s.workloads = Some(vec!["vips"]);
+        s.accesses = 5_000;
+        let a = SimSweep::run_choices(&s, &[LlcChoice::SttRam]);
+        let b = SimSweep::run_choices(&s, &[LlcChoice::SttRam]);
+        assert_eq!(
+            a.by_choice["vips"]["STT-RAM"].cycles,
+            b.by_choice["vips"]["STT-RAM"].cycles
+        );
+    }
+
+    #[test]
+    fn variant_parts_cover_paper_matrix() {
+        assert_eq!(RtVariant::ALL.len(), 6);
+        for v in RtVariant::ALL {
+            let (_, _) = v.parts();
+            assert!(!v.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Public API and experiment drivers for the Hi-fi Playback
+//! reproduction.
+//!
+//! This crate ties the substrates together:
+//!
+//! * [`config`] — [`config::RtmConfig`], a builder describing a
+//!   protected racetrack memory design (geometry, protection scheme,
+//!   shift policy, calibration) and constructing its components;
+//! * [`experiments`] — one driver per table and figure of the paper's
+//!   evaluation. Each driver returns typed rows and renders the same
+//!   series the paper plots, so the `repro` binary (in `rtm-bench`) is
+//!   a thin printer.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtm_core::config::RtmConfig;
+//!
+//! let config = RtmConfig::paper_default();
+//! let mut controller = config.build_controller();
+//! let plan = controller.plan_shift(5, 0);
+//! assert_eq!(plan.distance(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+
+pub use config::RtmConfig;

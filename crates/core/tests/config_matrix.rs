@@ -1,0 +1,114 @@
+//! Configuration-matrix integration: every sensible (geometry ×
+//! protection × policy) combination must build working components with
+//! consistent invariants.
+
+use rtm_controller::controller::ShiftPolicy;
+use rtm_core::config::RtmConfig;
+use rtm_pecc::layout::ProtectionKind;
+use rtm_track::fault::IdealFaultModel;
+
+fn geometries() -> Vec<(usize, usize)> {
+    vec![(32, 4), (64, 8), (64, 4), (128, 8), (128, 16)]
+}
+
+fn kinds() -> Vec<ProtectionKind> {
+    vec![
+        ProtectionKind::None,
+        ProtectionKind::Sed,
+        ProtectionKind::SECDED,
+        ProtectionKind::Correcting { m: 2 },
+        ProtectionKind::SECDED_O,
+    ]
+}
+
+fn policies() -> Vec<ShiftPolicy> {
+    vec![
+        ShiftPolicy::Unconstrained,
+        ShiftPolicy::StepByStep,
+        ShiftPolicy::FixedSafe { worst_intensity_hz: 83_000_000 },
+        ShiftPolicy::Adaptive,
+    ]
+}
+
+#[test]
+fn every_valid_combination_builds_and_plans() {
+    let mut built = 0;
+    for (data, ports) in geometries() {
+        for kind in kinds() {
+            let config = match RtmConfig::paper_default()
+                .with_geometry(data, ports)
+                .and_then(|c| c.with_protection(kind))
+            {
+                Ok(c) => c,
+                Err(_) => continue, // strength does not fit this Lseg
+            };
+            for policy in policies() {
+                let mut ctl = config.clone().with_policy(policy).build_controller();
+                let max = config.geometry().max_shift().max(1) as u32;
+                for distance in [1, max / 2, max] {
+                    let distance = distance.max(1);
+                    let plan = ctl.plan_shift(distance, 0);
+                    assert_eq!(
+                        plan.distance(),
+                        distance,
+                        "{data}x{ports} {kind:?} {policy:?}"
+                    );
+                    assert!(plan.latency.count() > 0);
+                    // Risk mass is a probability.
+                    assert!(plan.sdc_risk >= 0.0 && plan.sdc_risk <= 1.0);
+                    assert!(plan.due_risk >= 0.0 && plan.due_risk <= 1.0);
+                }
+                built += 1;
+            }
+        }
+    }
+    assert!(built >= 60, "only {built} combinations built");
+}
+
+#[test]
+fn every_valid_combination_round_trips_data_physically() {
+    for (data, ports) in geometries() {
+        for kind in kinds() {
+            let Ok(config) = RtmConfig::paper_default()
+                .with_geometry(data, ports)
+                .and_then(|c| c.with_protection(kind))
+            else {
+                continue;
+            };
+            let mut stripe = config.build_stripe();
+            let mut ideal = IdealFaultModel;
+            let geom = config.layout().geometry;
+            // Probe three domains across the stripe.
+            for d in [0, data / 2, data - 1] {
+                stripe.seek_checked(geom.head_position_for(d), &mut ideal);
+                stripe
+                    .write_domain(d, rtm_track::bit::Bit::One)
+                    .unwrap_or_else(|e| panic!("{data}x{ports} {kind:?} write {d}: {e}"));
+                assert_eq!(
+                    stripe.read_domain(d).expect("read"),
+                    rtm_track::bit::Bit::One,
+                    "{data}x{ports} {kind:?} domain {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reliability_targets_shape_safe_distances() {
+    use rtm_util::units::Seconds;
+    // Tighter targets must never allow longer safe distances.
+    let mut prev = u32::MAX;
+    for years in [0.1, 10.0, 1000.0, 100_000.0] {
+        let config = RtmConfig::paper_default()
+            .with_reliability_target(Seconds::from_years(years));
+        let budget = rtm_controller::safety::SafetyBudget::new(
+            config.rates().clone(),
+            Seconds::from_years(years),
+            1,
+        );
+        let d = budget.safe_distance_at(83e6).unwrap_or(0);
+        assert!(d <= prev, "{years} years -> distance {d}");
+        prev = d;
+    }
+}

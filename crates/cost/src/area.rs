@@ -1,0 +1,238 @@
+//! Stripe/port area model — the paper's Fig. 7 and Fig. 13.
+//!
+//! A racetrack stripe is stacked over its access transistors, so the
+//! footprint is domains plus port transistors plus per-port periphery.
+//! Absolute constants below are calibrated to the paper's Fig. 7 curves
+//! (average area per data bit of a 64-bit stripe, 8–16 F²/b across the
+//! plotted port counts); the model's *structure* — read/write ports cost
+//! ~3× a read-only port, domains amortise, many ports dominate — follows
+//! the circuit models the paper cites.
+
+use rtm_pecc::layout::{PeccLayout, ProtectionKind};
+use rtm_track::geometry::StripeGeometry;
+use rtm_util::units::SquareF;
+
+/// Area model constants (all in F²).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Footprint per domain (cell pitch and wire share).
+    pub domain_area: SquareF,
+    /// Footprint per read-only port (sense transistor + periphery).
+    pub read_port_area: SquareF,
+    /// Footprint per read/write port (write driver transistor is
+    /// several times wider).
+    pub rw_port_area: SquareF,
+    /// Footprint per auxiliary single-bit write port (the p-ECC-O
+    /// shift-and-write heads drive one domain, not a full line slice).
+    pub aux_write_port_area: SquareF,
+}
+
+impl AreaModel {
+    /// Constants calibrated to the paper's Fig. 7.
+    pub fn paper() -> Self {
+        Self {
+            domain_area: SquareF(4.0),
+            read_port_area: SquareF(9.4),
+            rw_port_area: SquareF(60.0),
+            aux_write_port_area: SquareF(20.0),
+        }
+    }
+
+    /// Total area of a stripe with the given domain and port counts.
+    pub fn stripe_area(
+        &self,
+        total_domains: usize,
+        read_ports: usize,
+        rw_ports: usize,
+    ) -> SquareF {
+        self.domain_area * total_domains as f64
+            + self.read_port_area * read_ports as f64
+            + self.rw_port_area * rw_ports as f64
+    }
+
+    /// Average area per *data* bit for a bare stripe (the paper's
+    /// Fig. 7): a `geometry` stripe plus `extra_read_ports` added
+    /// read-only ports and `extra_rw_ports` added read/write ports.
+    pub fn area_per_bit(
+        &self,
+        geometry: &StripeGeometry,
+        extra_read_ports: usize,
+        extra_rw_ports: usize,
+    ) -> SquareF {
+        let total = self.stripe_area(
+            geometry.total_len(),
+            extra_read_ports,
+            geometry.num_ports() + extra_rw_ports,
+        );
+        total / geometry.data_len() as f64
+    }
+
+    /// Average area per data bit for a protected stripe (the paper's
+    /// Fig. 13): p-ECC code domains and tap ports included.
+    pub fn protected_area_per_bit(&self, layout: &PeccLayout) -> SquareF {
+        let geometry = layout.geometry;
+        let total = self.stripe_area(
+            geometry.total_len() + layout.extra_domains(),
+            layout.extra_read_ports,
+            geometry.num_ports(),
+        ) + self.aux_write_port_area * layout.extra_write_ports as f64;
+        total / geometry.data_len() as f64
+    }
+
+    /// Relative area overhead of a protection scheme versus the bare
+    /// stripe.
+    pub fn protection_overhead(&self, layout: &PeccLayout) -> f64 {
+        let bare = self.area_per_bit(&layout.geometry, 0, 0);
+        let prot = self.protected_area_per_bit(layout);
+        prot / bare - 1.0
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The Fig. 7 sweep: area per bit of a 64-bit stripe as read-only ports
+/// are added, one series per base read/write port count.
+pub fn figure7_series(
+    model: &AreaModel,
+    rw_counts: &[usize],
+    max_extra_read: usize,
+) -> Vec<(usize, Vec<(usize, SquareF)>)> {
+    rw_counts
+        .iter()
+        .map(|&rw| {
+            // Overhead region shrinks as read/write ports subdivide the
+            // stripe; a port-less (read-only) stripe behaves like one
+            // 64-domain segment. Uneven divisions round the segment
+            // length up, as a physical design would.
+            let lseg = 64usize.div_ceil(rw.max(1));
+            let total_domains = 64 + (lseg - 1);
+            let series = (1..=max_extra_read)
+                .map(|r| {
+                    let a = (model.domain_area * total_domains as f64
+                        + model.rw_port_area * rw as f64
+                        + model.read_port_area * r as f64)
+                        / 64.0;
+                    (r, a)
+                })
+                .collect();
+            (rw, series)
+        })
+        .collect()
+}
+
+/// Convenience: layout + area in one call for the Fig. 13 sensitivity
+/// sweep across segment configurations.
+pub fn config_area_per_bit(
+    model: &AreaModel,
+    data_len: usize,
+    num_ports: usize,
+    kind: ProtectionKind,
+) -> Option<SquareF> {
+    let geom = StripeGeometry::new(data_len, num_ports).ok()?;
+    let layout = PeccLayout::new(geom, kind).ok()?;
+    Some(model.protected_area_per_bit(&layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_base_point_is_in_paper_band() {
+        // Fig. 7: ~8-9 F²/b for a 64-bit stripe with one read port and
+        // no read/write ports.
+        let m = AreaModel::paper();
+        let g = StripeGeometry::new(64, 1).unwrap();
+        let base = (m.domain_area * g.total_len() as f64 + m.read_port_area * 1.0) / 64.0;
+        assert!(
+            (7.5..9.5).contains(&base.value()),
+            "base area {base}"
+        );
+    }
+
+    #[test]
+    fn fig7_slopes_and_offsets() {
+        let m = AreaModel::paper();
+        let series = figure7_series(&m, &[0, 2, 4, 6, 8], 20);
+        // Every series rises with port count.
+        for (_, pts) in &series {
+            for w in pts.windows(2) {
+                assert!(w[1].1.value() > w[0].1.value());
+            }
+        }
+        // More read/write ports shift the whole curve upward.
+        let at = |rw: usize, r: usize| {
+            series
+                .iter()
+                .find(|(c, _)| *c == rw)
+                .unwrap()
+                .1
+                .iter()
+                .find(|(x, _)| *x == r)
+                .unwrap()
+                .1
+        };
+        assert!(at(8, 1).value() > at(0, 1).value() + 2.0);
+        // The full plotted range stays within the paper's 8-16 F²/b axis.
+        for (_, pts) in &series {
+            for (_, a) in pts {
+                assert!((7.0..17.0).contains(&a.value()), "area {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn secded_cell_overhead_matches_table5() {
+        // Table 5: 17.6 % cell overhead for SECDED p-ECC on the default
+        // stripe (our layout computes 17.4 %); p-ECC-O stores less.
+        let geom = StripeGeometry::paper_default();
+        let pecc = PeccLayout::new(geom, ProtectionKind::SECDED).unwrap();
+        let oh = pecc.storage_overhead() * 100.0;
+        assert!((15.0..20.0).contains(&oh), "SECDED cell overhead {oh:.1}%");
+        let pecc_o = PeccLayout::new(geom, ProtectionKind::SECDED_O).unwrap();
+        let oh_o = pecc_o.storage_overhead() * 100.0;
+        assert!(oh_o < oh, "p-ECC-O {oh_o:.1}% vs p-ECC {oh:.1}%");
+        // The area model puts the full (port-inclusive) premium of
+        // SECDED protection in a single-digit-to-~20 % band.
+        let m = AreaModel::paper();
+        let area_oh = m.protection_overhead(&pecc) * 100.0;
+        assert!((5.0..25.0).contains(&area_oh), "area overhead {area_oh:.1}%");
+    }
+
+    #[test]
+    fn fig13_shape_many_ports_cost_more() {
+        // Fig. 13: 16×2 (16 ports on 32 bits) is far more expensive per
+        // bit than 2×16 (2 ports on 32 bits).
+        let m = AreaModel::paper();
+        let dense = m.area_per_bit(&StripeGeometry::new(32, 16).unwrap(), 0, 0);
+        let sparse = m.area_per_bit(&StripeGeometry::new(32, 2).unwrap(), 0, 0);
+        assert!(dense.value() > 1.5 * sparse.value());
+        assert!((20.0..36.0).contains(&dense.value()), "dense {dense}");
+        assert!((7.0..12.0).contains(&sparse.value()), "sparse {sparse}");
+    }
+
+    #[test]
+    fn fig13_pecc_o_wins_at_long_segments() {
+        // Fig. 13: for Lseg ≥ 16 the p-ECC-O bars drop below p-ECC-S.
+        let m = AreaModel::paper();
+        let pecc = config_area_per_bit(&m, 128, 4, ProtectionKind::SECDED).unwrap();
+        let pecc_o = config_area_per_bit(&m, 128, 4, ProtectionKind::SECDED_O).unwrap();
+        assert!(pecc_o.value() < pecc.value(), "O {pecc_o} vs S {pecc}");
+        // ...and the gap narrows/reverses for short segments.
+        let pecc_s4 = config_area_per_bit(&m, 128, 32, ProtectionKind::SECDED).unwrap();
+        let pecc_o4 = config_area_per_bit(&m, 128, 32, ProtectionKind::SECDED_O).unwrap();
+        assert!(pecc_o4.value() > pecc_s4.value() * 0.95);
+    }
+
+    #[test]
+    fn invalid_configs_return_none() {
+        let m = AreaModel::paper();
+        assert!(config_area_per_bit(&m, 10, 3, ProtectionKind::SECDED).is_none());
+        // Lseg = 2 cannot host SECDED (m + 1 >= Lseg).
+        assert!(config_area_per_bit(&m, 64, 32, ProtectionKind::SECDED).is_none());
+    }
+}

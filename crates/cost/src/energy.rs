@@ -1,0 +1,172 @@
+//! LLC energy composition: turning operation counts into the dynamic
+//! and total energy figures of the paper's Figs. 17 and 18.
+
+use crate::overhead::{ProtectionOverhead, Scheme};
+use crate::technology::LlcDesign;
+use rtm_util::units::{Picojoules, Seconds};
+
+/// Operation counts accumulated by a simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LlcActivity {
+    /// Line reads served.
+    pub reads: u64,
+    /// Line writes served.
+    pub writes: u64,
+    /// Total shift *steps* executed (sum over operations of their
+    /// distance, across the line's whole stripe group).
+    pub shift_steps: u64,
+    /// Shift operations (sub-shifts) executed.
+    pub shift_ops: u64,
+    /// p-ECC detection checks performed.
+    pub pecc_checks: u64,
+    /// p-ECC corrections performed.
+    pub pecc_corrections: u64,
+    /// Wall-clock duration of the run.
+    pub duration: Seconds,
+}
+
+impl LlcActivity {
+    /// Adds another activity record (e.g. per-bank accumulation).
+    pub fn merge(&mut self, other: &LlcActivity) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.shift_steps += other.shift_steps;
+        self.shift_ops += other.shift_ops;
+        self.pecc_checks += other.pecc_checks;
+        self.pecc_corrections += other.pecc_corrections;
+        self.duration = Seconds(self.duration.as_secs().max(other.duration.as_secs()));
+    }
+}
+
+/// Energy model for one LLC design point plus a protection scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlcEnergyModel {
+    design: LlcDesign,
+    protection: Option<ProtectionOverhead>,
+    /// Number of stripes that act together per access (the paper's
+    /// 512-stripe line groups) — p-ECC checks run on every stripe.
+    stripes_per_group: u32,
+}
+
+impl LlcEnergyModel {
+    /// Creates a model. `scheme = None` means an unprotected memory.
+    pub fn new(design: LlcDesign, scheme: Option<Scheme>, stripes_per_group: u32) -> Self {
+        assert!(stripes_per_group > 0, "a group has at least one stripe");
+        Self {
+            design,
+            protection: scheme.map(ProtectionOverhead::table5),
+            stripes_per_group,
+        }
+    }
+
+    /// The design point.
+    pub fn design(&self) -> &LlcDesign {
+        &self.design
+    }
+
+    /// Dynamic energy for an activity record: reads + writes + shifts +
+    /// p-ECC detection/correction.
+    pub fn dynamic_energy(&self, a: &LlcActivity) -> Picojoules {
+        let mut e = Picojoules::ZERO;
+        e += self.design.read_energy * a.reads as f64;
+        e += self.design.write_energy * a.writes as f64;
+        e += self.design.shift_energy_per_step * a.shift_steps as f64;
+        if let Some(p) = &self.protection {
+            // Detection runs on every stripe of the group in parallel.
+            let per_check = p.detect_energy * self.stripes_per_group as f64;
+            e += per_check * a.pecc_checks as f64;
+            e += p.correct_energy * a.pecc_corrections as f64;
+        }
+        e
+    }
+
+    /// Leakage energy over the run duration.
+    pub fn leakage_energy(&self, a: &LlcActivity) -> Picojoules {
+        self.design.leakage.energy_over(a.duration)
+    }
+
+    /// Dynamic + leakage.
+    pub fn total_energy(&self, a: &LlcActivity) -> Picojoules {
+        self.dynamic_energy(a) + self.leakage_energy(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::LlcDesign;
+
+    fn activity() -> LlcActivity {
+        LlcActivity {
+            reads: 1000,
+            writes: 500,
+            shift_steps: 3000,
+            shift_ops: 1500,
+            pecc_checks: 1500,
+            pecc_corrections: 2,
+            duration: Seconds(1e-3),
+        }
+    }
+
+    #[test]
+    fn dynamic_energy_components_add_up() {
+        let m = LlcEnergyModel::new(LlcDesign::racetrack(), None, 512);
+        let a = activity();
+        let e = m.dynamic_energy(&a);
+        let manual = 0.956e3 * 1000.0 + 0.952e3 * 500.0 + 1.331e3 * 3000.0;
+        assert!((e.value() - manual).abs() < 1.0, "got {e}, want {manual}");
+    }
+
+    #[test]
+    fn protection_adds_check_energy() {
+        let bare = LlcEnergyModel::new(LlcDesign::racetrack(), None, 512);
+        let prot = LlcEnergyModel::new(
+            LlcDesign::racetrack(),
+            Some(Scheme::PeccSAdaptive),
+            512,
+        );
+        let a = activity();
+        let extra = prot.dynamic_energy(&a).value() - bare.dynamic_energy(&a).value();
+        // 1500 checks × 512 stripes × 3.86 pJ plus two corrections.
+        let want = 1500.0 * 512.0 * 3.86 + 2.0 * 6.19;
+        assert!((extra - want).abs() / want < 1e-9, "extra {extra}, want {want}");
+    }
+
+    #[test]
+    fn sram_pays_no_shift_energy() {
+        let m = LlcEnergyModel::new(LlcDesign::sram(), None, 1);
+        let mut a = activity();
+        let with_shifts = m.dynamic_energy(&a);
+        a.shift_steps = 0;
+        let without = m.dynamic_energy(&a);
+        assert_eq!(with_shifts, without);
+    }
+
+    #[test]
+    fn leakage_scales_with_duration() {
+        let m = LlcEnergyModel::new(LlcDesign::sram(), None, 1);
+        let mut a = activity();
+        let e1 = m.leakage_energy(&a);
+        a.duration = Seconds(2e-3);
+        let e2 = m.leakage_energy(&a);
+        assert!((e2.value() / e1.value() - 2.0).abs() < 1e-9);
+        // 2673.5 mW × 1 ms = 2.6735 mJ.
+        assert!((e1.as_millijoules() - 2.6735).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = activity();
+        let b = activity();
+        a.merge(&b);
+        assert_eq!(a.reads, 2000);
+        assert_eq!(a.shift_steps, 6000);
+        assert_eq!(a.duration, Seconds(1e-3), "duration is max, not sum");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stripes_rejected() {
+        let _ = LlcEnergyModel::new(LlcDesign::racetrack(), None, 0);
+    }
+}

@@ -1,0 +1,267 @@
+//! System configuration constants — the paper's Table 4.
+//!
+//! The evaluated platform: four in-order 2 GHz cores, private split L1s,
+//! a shared L2, and a shared L3 (LLC) built from one of three memory
+//! technologies at iso-area, plus dual-channel DDR3 main memory.
+
+use rtm_util::units::{Milliwatts, Picojoules};
+
+/// Which memory technology implements the LLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CacheTech {
+    /// Conventional SRAM (smallest capacity at iso-area).
+    Sram,
+    /// Spin-transfer-torque MRAM.
+    SttRam,
+    /// Racetrack (domain-wall) memory — largest capacity, needs shifts.
+    Racetrack,
+}
+
+impl std::fmt::Display for CacheTech {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheTech::Sram => write!(f, "SRAM"),
+            CacheTech::SttRam => write!(f, "STT-RAM"),
+            CacheTech::Racetrack => write!(f, "RM"),
+        }
+    }
+}
+
+/// One LLC design point (Table 4's L3 row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LlcDesign {
+    /// Technology.
+    pub tech: CacheTech,
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Read latency in CPU cycles.
+    pub read_cycles: u64,
+    /// Write latency in CPU cycles.
+    pub write_cycles: u64,
+    /// Latency of a 1-step shift in CPU cycles (0 for non-racetrack).
+    pub shift_cycles_per_step: u64,
+    /// Read energy per access.
+    pub read_energy: Picojoules,
+    /// Write energy per access.
+    pub write_energy: Picojoules,
+    /// Energy of a 1-step shift across one cache line's stripe group.
+    pub shift_energy_per_step: Picojoules,
+    /// Leakage power of the whole LLC.
+    pub leakage: Milliwatts,
+}
+
+impl LlcDesign {
+    /// Table 4 SRAM LLC: 4 MB, 24/22-cycle, 0.802/0.761 nJ, 2673.5 mW.
+    pub fn sram() -> Self {
+        Self {
+            tech: CacheTech::Sram,
+            capacity_bytes: 4 << 20,
+            read_cycles: 24,
+            write_cycles: 22,
+            shift_cycles_per_step: 0,
+            read_energy: Picojoules::from_nanojoules(0.802),
+            write_energy: Picojoules::from_nanojoules(0.761),
+            shift_energy_per_step: Picojoules::ZERO,
+            leakage: Milliwatts(2673.5),
+        }
+    }
+
+    /// Table 4 STT-RAM LLC: 32 MB, 27/41-cycle, 1.056/2.093 nJ,
+    /// 862.2 mW.
+    pub fn stt_ram() -> Self {
+        Self {
+            tech: CacheTech::SttRam,
+            capacity_bytes: 32 << 20,
+            read_cycles: 27,
+            write_cycles: 41,
+            shift_cycles_per_step: 0,
+            read_energy: Picojoules::from_nanojoules(1.056),
+            write_energy: Picojoules::from_nanojoules(2.093),
+            shift_energy_per_step: Picojoules::ZERO,
+            leakage: Milliwatts(862.2),
+        }
+    }
+
+    /// Table 4 racetrack LLC: 128 MB, R/W/S 24/24/4-cycle,
+    /// 0.956/0.952/1.331 nJ, 948.4 mW.
+    pub fn racetrack() -> Self {
+        Self {
+            tech: CacheTech::Racetrack,
+            capacity_bytes: 128 << 20,
+            read_cycles: 24,
+            write_cycles: 24,
+            shift_cycles_per_step: 4,
+            read_energy: Picojoules::from_nanojoules(0.956),
+            write_energy: Picojoules::from_nanojoules(0.952),
+            shift_energy_per_step: Picojoules::from_nanojoules(1.331),
+            leakage: Milliwatts(948.4),
+        }
+    }
+
+    /// The design point for a technology.
+    pub fn of(tech: CacheTech) -> Self {
+        match tech {
+            CacheTech::Sram => Self::sram(),
+            CacheTech::SttRam => Self::stt_ram(),
+            CacheTech::Racetrack => Self::racetrack(),
+        }
+    }
+}
+
+/// L1/L2 cache constants (identical across LLC variants).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpperLevelCache {
+    /// Capacity in bytes (per cache).
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Access latency in cycles.
+    pub access_cycles: u64,
+    /// Read energy per access.
+    pub read_energy: Picojoules,
+    /// Write energy per access.
+    pub write_energy: Picojoules,
+    /// Leakage power.
+    pub leakage: Milliwatts,
+}
+
+/// Main-memory constants (Table 4 bottom row).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MainMemory {
+    /// Access latency in CPU cycles.
+    pub access_cycles: u64,
+    /// Energy per access.
+    pub access_energy: Picojoules,
+    /// Peak bandwidth in bytes/s.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+/// The full Table 4 system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: u32,
+    /// Core clock (Hz).
+    pub clock_hz: f64,
+    /// L1 data/instruction cache (each).
+    pub l1: UpperLevelCache,
+    /// Shared L2.
+    pub l2: UpperLevelCache,
+    /// LLC design point.
+    pub llc: LlcDesign,
+    /// Main memory.
+    pub memory: MainMemory,
+    /// Cache line size in bytes (all levels).
+    pub line_bytes: u32,
+    /// LLC associativity.
+    pub llc_ways: u32,
+}
+
+impl SystemConfig {
+    /// The paper's Table 4 configuration with the chosen LLC technology.
+    pub fn paper(tech: CacheTech) -> Self {
+        Self {
+            cores: 4,
+            clock_hz: 2.0e9,
+            l1: UpperLevelCache {
+                capacity_bytes: 32 << 10,
+                ways: 2,
+                access_cycles: 1,
+                read_energy: Picojoules::from_nanojoules(0.074),
+                write_energy: Picojoules::from_nanojoules(0.074),
+                leakage: Milliwatts(23.4),
+            },
+            l2: UpperLevelCache {
+                capacity_bytes: 1 << 20,
+                ways: 4,
+                access_cycles: 7,
+                read_energy: Picojoules::from_nanojoules(0.407),
+                write_energy: Picojoules::from_nanojoules(0.386),
+                leakage: Milliwatts(681.5),
+            },
+            llc: LlcDesign::of(tech),
+            memory: MainMemory {
+                access_cycles: 100,
+                access_energy: Picojoules::from_nanojoules(38.10),
+                bandwidth_bytes_per_s: 12.8e9,
+            },
+            line_bytes: 64,
+            llc_ways: 16,
+        }
+    }
+
+    /// Number of cache lines the LLC holds.
+    pub fn llc_lines(&self) -> u64 {
+        self.llc.capacity_bytes / self.line_bytes as u64
+    }
+
+    /// Number of LLC sets.
+    pub fn llc_sets(&self) -> u64 {
+        self.llc_lines() / self.llc_ways as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_llc_rows() {
+        let sram = LlcDesign::sram();
+        assert_eq!(sram.capacity_bytes, 4 << 20);
+        assert_eq!(sram.read_cycles, 24);
+        assert_eq!(sram.write_cycles, 22);
+
+        let stt = LlcDesign::stt_ram();
+        assert_eq!(stt.capacity_bytes, 32 << 20);
+        assert!((stt.write_energy.as_nanojoules() - 2.093).abs() < 1e-9);
+
+        let rm = LlcDesign::racetrack();
+        assert_eq!(rm.capacity_bytes, 128 << 20);
+        assert_eq!(rm.shift_cycles_per_step, 4);
+        assert!((rm.shift_energy_per_step.as_nanojoules() - 1.331).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_ordering_is_the_papers_selling_point() {
+        // Iso-area: RM holds 32× SRAM and 4× STT-RAM.
+        assert_eq!(
+            LlcDesign::racetrack().capacity_bytes,
+            32 * LlcDesign::sram().capacity_bytes
+        );
+        assert_eq!(
+            LlcDesign::racetrack().capacity_bytes,
+            4 * LlcDesign::stt_ram().capacity_bytes
+        );
+    }
+
+    #[test]
+    fn sram_leaks_most() {
+        assert!(LlcDesign::sram().leakage.value() > LlcDesign::stt_ram().leakage.value());
+        assert!(LlcDesign::sram().leakage.value() > LlcDesign::racetrack().leakage.value());
+    }
+
+    #[test]
+    fn system_geometry() {
+        let sys = SystemConfig::paper(CacheTech::Racetrack);
+        assert_eq!(sys.cores, 4);
+        assert_eq!(sys.line_bytes, 64);
+        assert_eq!(sys.llc_lines(), 2 * 1024 * 1024);
+        assert_eq!(sys.llc_sets(), 131_072);
+        assert_eq!(sys.llc_lines() % sys.llc_ways as u64, 0);
+    }
+
+    #[test]
+    fn of_round_trips() {
+        for t in [CacheTech::Sram, CacheTech::SttRam, CacheTech::Racetrack] {
+            assert_eq!(LlcDesign::of(t).tech, t);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CacheTech::Sram.to_string(), "SRAM");
+        assert_eq!(CacheTech::SttRam.to_string(), "STT-RAM");
+        assert_eq!(CacheTech::Racetrack.to_string(), "RM");
+    }
+}

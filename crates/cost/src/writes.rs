@@ -1,0 +1,120 @@
+//! Write-style trade-off: shift-based writes vs conventional
+//! (STT-style) writes.
+//!
+//! Section 2.1 of the paper notes both options for a read/write port:
+//! the shift-based write steers a pinned reference domain's value into
+//! the target with a 1-step local shift and a modest transistor, while
+//! an STT-style write programs the domain directly but "requires a
+//! larger transistor, due to larger current for write". This module
+//! quantifies that trade for the area/energy models.
+
+use rtm_util::units::{Picojoules, SquareF};
+
+/// How a read/write port programs a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WriteStyle {
+    /// Steer a reference domain's value in with a local 1-step shift.
+    ShiftBased,
+    /// Program the domain directly with a large spin-transfer current.
+    SttStyle,
+}
+
+/// Per-port cost constants for one write style.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WritePortCost {
+    /// Style described.
+    pub style: WriteStyle,
+    /// Port transistor footprint.
+    pub area: SquareF,
+    /// Energy per written bit.
+    pub energy_per_bit: Picojoules,
+    /// Extra local shift steps per write (0 for STT-style).
+    pub local_shift_steps: u32,
+}
+
+impl WritePortCost {
+    /// Calibrated constants: the shift-based port matches the Fig. 7
+    /// R/W port (60 F²); the STT-style driver needs roughly twice the
+    /// transistor width for its write current but skips the local
+    /// shift. Energy per bit follows the Table 4 write-vs-shift split.
+    pub fn of(style: WriteStyle) -> Self {
+        match style {
+            WriteStyle::ShiftBased => Self {
+                style,
+                area: SquareF(60.0),
+                energy_per_bit: Picojoules(1.86), // write share (0.952 nJ / 512)
+                local_shift_steps: 1,
+            },
+            WriteStyle::SttStyle => Self {
+                style,
+                area: SquareF(120.0),
+                energy_per_bit: Picojoules(4.1), // STT-RAM-like write (2.093 nJ / 512)
+                local_shift_steps: 0,
+            },
+        }
+    }
+
+    /// Total energy for writing one bit, including the local shift
+    /// (charged at the per-stripe share of the Table 4 shift energy).
+    pub fn total_write_energy(&self) -> Picojoules {
+        let shift_share = Picojoules(1.331e3 / 512.0); // nJ per group / stripes
+        self.energy_per_bit + shift_share * self.local_shift_steps as f64
+    }
+}
+
+/// Area delta of choosing STT-style writes for every data port of a
+/// stripe with `rw_ports` read/write ports, per data bit.
+pub fn stt_area_premium_per_bit(rw_ports: usize, data_bits: usize) -> SquareF {
+    assert!(data_bits > 0, "stripe must hold data");
+    let delta = WritePortCost::of(WriteStyle::SttStyle).area
+        - WritePortCost::of(WriteStyle::ShiftBased).area;
+    delta * rw_ports as f64 / data_bits as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stt_ports_are_larger_but_shiftless() {
+        let shift = WritePortCost::of(WriteStyle::ShiftBased);
+        let stt = WritePortCost::of(WriteStyle::SttStyle);
+        assert!(stt.area.value() > 1.5 * shift.area.value());
+        assert_eq!(stt.local_shift_steps, 0);
+        assert_eq!(shift.local_shift_steps, 1);
+    }
+
+    #[test]
+    fn total_energy_includes_local_shift() {
+        let shift = WritePortCost::of(WriteStyle::ShiftBased);
+        assert!(shift.total_write_energy().value() > shift.energy_per_bit.value());
+        let stt = WritePortCost::of(WriteStyle::SttStyle);
+        assert_eq!(stt.total_write_energy(), stt.energy_per_bit);
+    }
+
+    #[test]
+    fn shift_based_wins_area_at_comparable_energy() {
+        // The paper's design choice is area-driven: the shift-based
+        // write halves the port transistor. Total energy lands within
+        // ~20 % of the STT-style write once the local shift is charged.
+        let shift = WritePortCost::of(WriteStyle::ShiftBased);
+        let stt = WritePortCost::of(WriteStyle::SttStyle);
+        assert!(shift.area.value() <= 0.5 * stt.area.value());
+        let ratio = shift.total_write_energy().value() / stt.total_write_energy().value();
+        assert!((0.8..1.25).contains(&ratio), "energy ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn premium_scales_with_port_density() {
+        let dense = stt_area_premium_per_bit(8, 64);
+        let sparse = stt_area_premium_per_bit(2, 64);
+        assert!(dense.value() > sparse.value());
+        assert!((dense.value() - 60.0 * 8.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bits_rejected() {
+        let _ = stt_area_premium_per_bit(1, 0);
+    }
+}

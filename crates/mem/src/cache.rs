@@ -1,0 +1,325 @@
+//! Generic set-associative LRU cache bookkeeping.
+
+/// Read or write access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Outcome of a cache lookup-with-allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessResult {
+    /// The line was present. Carries its way index.
+    Hit {
+        /// Way within the set where the line was found.
+        way: u32,
+    },
+    /// The line was absent and has been allocated. Carries the way it
+    /// landed in and, if a dirty line was displaced, that victim's
+    /// address.
+    Miss {
+        /// Way the new line was installed into.
+        way: u32,
+        /// Dirty victim written back, if any.
+        writeback: Option<u64>,
+    },
+}
+
+impl AccessResult {
+    /// True for hits.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, AccessResult::Hit { .. })
+    }
+
+    /// The way touched by this access.
+    pub fn way(&self) -> u32 {
+        match self {
+            AccessResult::Hit { way } | AccessResult::Miss { way, .. } => *way,
+        }
+    }
+}
+
+/// Hit/miss/writeback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found the line.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty evictions.
+    pub writebacks: u64,
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio (0 when never accessed).
+    pub fn miss_rate(&self) -> f64 {
+        let n = self.accesses();
+        if n == 0 {
+            0.0
+        } else {
+            self.misses as f64 / n as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic LRU stamp; larger = more recent.
+    stamp: u64,
+}
+
+/// A set-associative write-back, write-allocate cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    sets: u64,
+    ways: u32,
+    line_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache of `capacity_bytes` with `ways` associativity and
+    /// `line_bytes` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless capacity divides evenly into sets of power-of-two
+    /// lines.
+    pub fn new(capacity_bytes: u64, ways: u32, line_bytes: u32) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be 2^n");
+        assert!(ways > 0, "need at least one way");
+        let total_lines = capacity_bytes / line_bytes as u64;
+        assert!(
+            total_lines.is_multiple_of(ways as u64) && total_lines > 0,
+            "capacity {capacity_bytes} does not divide into {ways}-way sets"
+        );
+        let sets = total_lines / ways as u64;
+        Self {
+            lines: vec![Line::default(); total_lines as usize],
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> u32 {
+        self.ways
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        1 << self.line_shift
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The set index of `addr`.
+    pub fn set_of(&self, addr: u64) -> u64 {
+        (addr >> self.line_shift) % self.sets
+    }
+
+    /// Looks up `addr`, allocating on miss (write-allocate) and
+    /// evicting LRU. Returns what happened.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessResult {
+        self.tick += 1;
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        let line_addr = addr >> self.line_shift;
+        let tag = line_addr / self.sets;
+        let set = (line_addr % self.sets) as usize;
+        let base = set * self.ways as usize;
+        let set_lines = &mut self.lines[base..base + self.ways as usize];
+
+        // Hit path.
+        for (w, line) in set_lines.iter_mut().enumerate() {
+            if line.valid && line.tag == tag {
+                line.stamp = self.tick;
+                if kind == AccessKind::Write {
+                    line.dirty = true;
+                }
+                self.stats.hits += 1;
+                return AccessResult::Hit { way: w as u32 };
+            }
+        }
+        // Miss: pick invalid way or LRU victim.
+        self.stats.misses += 1;
+        let victim_way = set_lines
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.stamp } else { 0 })
+            .map(|(w, _)| w)
+            .expect("sets are never empty");
+        let victim = &mut set_lines[victim_way];
+        let writeback = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            let victim_line = victim.tag * self.sets + set as u64;
+            Some(victim_line << self.line_shift)
+        } else {
+            None
+        };
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: kind == AccessKind::Write,
+            stamp: self.tick,
+        };
+        AccessResult::Miss {
+            way: victim_way as u32,
+            writeback,
+        }
+    }
+
+    /// Invalidates everything (e.g. between workload runs).
+    pub fn clear(&mut self) {
+        for l in &mut self.lines {
+            *l = Line::default();
+        }
+        self.tick = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64 B = 512 B.
+        Cache::new(512, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = small();
+        assert_eq!(c.sets(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.line_bytes(), 64);
+    }
+
+    #[test]
+    fn hit_after_miss() {
+        let mut c = small();
+        assert!(!c.access(0x1000, AccessKind::Read).is_hit());
+        assert!(c.access(0x1000, AccessKind::Read).is_hit());
+        assert!(c.access(0x103F, AccessKind::Read).is_hit(), "same line");
+        assert!(!c.access(0x1040, AccessKind::Read).is_hit(), "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to the same set (set stride = 4 * 64).
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, AccessKind::Read);
+        c.access(b, AccessKind::Read);
+        c.access(a, AccessKind::Read); // a is now MRU
+        c.access(d, AccessKind::Read); // evicts b
+        assert!(c.access(a, AccessKind::Read).is_hit());
+        assert!(!c.access(b, AccessKind::Read).is_hit());
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = small();
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, AccessKind::Write);
+        c.access(b, AccessKind::Read);
+        match c.access(d, AccessKind::Read) {
+            AccessResult::Miss { writeback: Some(wb), .. } => assert_eq!(wb, a),
+            other => panic!("expected writeback of {a:#x}, got {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        for i in 0..3u64 {
+            let r = c.access(i * 4 * 64, AccessKind::Read);
+            if let AccessResult::Miss { writeback, .. } = r {
+                assert_eq!(writeback, None);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_balance() {
+        let mut c = small();
+        for i in 0..1000u64 {
+            c.access((i * 67) % 4096, AccessKind::Read);
+        }
+        let s = *c.stats();
+        assert_eq!(s.hits + s.misses, 1000);
+        assert_eq!(s.accesses(), 1000);
+        assert!(s.miss_rate() > 0.0 && s.miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, AccessKind::Read);
+        c.access(0, AccessKind::Write);
+        // Force eviction of line 0's set with two more lines.
+        c.access(4 * 64, AccessKind::Read);
+        match c.access(8 * 64, AccessKind::Read) {
+            AccessResult::Miss { writeback, .. } => assert_eq!(writeback, Some(0)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = small();
+        c.access(0, AccessKind::Write);
+        c.clear();
+        assert_eq!(c.stats().accesses(), 0);
+        assert!(!c.access(0, AccessKind::Read).is_hit());
+    }
+
+    #[test]
+    fn large_llc_dimensions() {
+        // The paper's 128 MB LLC: 2 Mi lines, 16-way, 128 Ki sets.
+        let c = Cache::new(128 << 20, 16, 64);
+        assert_eq!(c.sets(), 131_072);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_line_size_rejected() {
+        let _ = Cache::new(1024, 2, 48);
+    }
+}

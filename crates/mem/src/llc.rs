@@ -1,0 +1,538 @@
+//! Last-level-cache backends: flat-latency SRAM / STT-RAM models and
+//! the racetrack model with head-position tracking and the error-aware
+//! shift controller.
+
+use crate::cache::{AccessKind, AccessResult, Cache, CacheStats};
+use rtm_controller::controller::{ShiftController, ShiftPolicy};
+use rtm_cost::energy::LlcActivity;
+use rtm_cost::technology::LlcDesign;
+use rtm_pecc::layout::ProtectionKind;
+use rtm_track::geometry::StripeGeometry;
+use rtm_util::units::Seconds;
+
+/// Counters common to all LLC backends.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LlcStats {
+    /// Cache-level counters.
+    pub cache: CacheStats,
+    /// Shift operations issued (racetrack only).
+    pub shift_ops: u64,
+    /// Total shift steps (racetrack only).
+    pub shift_steps: u64,
+    /// Cycles spent shifting.
+    pub shift_cycles: u64,
+    /// Accesses that required no shift (head already aligned).
+    pub zero_shift_accesses: u64,
+    /// Expected detected-uncorrectable position errors (probability
+    /// mass accumulated over the run, all stripes).
+    pub expected_dues: f64,
+    /// Expected silent corruptions.
+    pub expected_sdcs: f64,
+}
+
+/// What an LLC access cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcResponse {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Total LLC service latency in cycles (shift + array access),
+    /// excluding any DRAM time on a miss (the hierarchy adds that).
+    pub latency_cycles: u64,
+    /// Whether a dirty victim had to be written back to memory.
+    pub writeback: bool,
+}
+
+/// Interface the hierarchy drives.
+pub trait LlcModel {
+    /// Performs an access at absolute time `now_cycles`.
+    fn access(&mut self, addr: u64, kind: AccessKind, now_cycles: u64) -> LlcResponse;
+
+    /// Counters so far.
+    fn stats(&self) -> LlcStats;
+
+    /// The design point (latency/energy constants).
+    fn design(&self) -> &LlcDesign;
+
+    /// Activity record for energy accounting; `duration` is filled by
+    /// the caller that knows wall-clock time.
+    fn activity(&self, duration: Seconds) -> LlcActivity;
+}
+
+/// A flat-latency LLC (SRAM or STT-RAM).
+#[derive(Debug, Clone)]
+pub struct SimpleLlc {
+    cache: Cache,
+    design: LlcDesign,
+}
+
+impl SimpleLlc {
+    /// Builds the LLC for a design point with 64 B lines, 16 ways.
+    pub fn new(design: LlcDesign) -> Self {
+        Self {
+            cache: Cache::new(design.capacity_bytes, 16, 64),
+            design,
+        }
+    }
+}
+
+impl LlcModel for SimpleLlc {
+    fn access(&mut self, addr: u64, kind: AccessKind, _now: u64) -> LlcResponse {
+        let r = self.cache.access(addr, kind);
+        let latency = match kind {
+            AccessKind::Read => self.design.read_cycles,
+            AccessKind::Write => self.design.write_cycles,
+        };
+        LlcResponse {
+            hit: r.is_hit(),
+            latency_cycles: latency,
+            writeback: matches!(r, AccessResult::Miss { writeback: Some(_), .. }),
+        }
+    }
+
+    fn stats(&self) -> LlcStats {
+        LlcStats {
+            cache: *self.cache.stats(),
+            ..LlcStats::default()
+        }
+    }
+
+    fn design(&self) -> &LlcDesign {
+        &self.design
+    }
+
+    fn activity(&self, duration: Seconds) -> LlcActivity {
+        let s = self.cache.stats();
+        LlcActivity {
+            reads: s.reads,
+            writes: s.writes + s.writebacks,
+            shift_steps: 0,
+            shift_ops: 0,
+            pecc_checks: 0,
+            pecc_corrections: 0,
+            duration,
+        }
+    }
+}
+
+/// Idle head management policy, in the spirit of the head-management
+/// prior work the paper builds on (TapeCache / cross-layer design):
+/// what a stripe group's head does between requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HeadPolicy {
+    /// Leave the head where the last access put it (the paper's
+    /// configuration).
+    #[default]
+    Stay,
+    /// During idle time, drift the head back to the centre of its
+    /// range, halving the expected on-demand distance for random
+    /// access at the cost of extra (off-critical-path) shift energy
+    /// and risk.
+    ReturnToCentre,
+}
+
+/// The racetrack LLC: cache bookkeeping plus physical head positions
+/// and the position-error-aware shift controller.
+///
+/// Data mapping follows the paper (and STAG): each 64-byte line is
+/// interleaved bit-by-bit over a group of 512 stripes sharing one shift
+/// command; a group of 64-domain stripes therefore holds 64 lines, and
+/// consecutive physical lines sit in adjacent domains. Every group has
+/// its own head-position register.
+#[derive(Debug, Clone)]
+pub struct RacetrackLlc {
+    cache: Cache,
+    design: LlcDesign,
+    /// One shift controller per bank (Section 5.3: interleaved banks
+    /// service requests independently, so each adapter measures its own
+    /// inter-shift interval).
+    controllers: Vec<ShiftController>,
+    geometry: StripeGeometry,
+    /// Current head position of each stripe group.
+    heads: Vec<u8>,
+    stripes_per_group: u32,
+    stats_shift_ops: u64,
+    stats_shift_steps: u64,
+    stats_shift_cycles: u64,
+    zero_shift: u64,
+    /// Whether the controller models an idealised zero-latency shift
+    /// (the paper's "RM-Ideal" series in Fig. 16).
+    ideal_shifts: bool,
+    /// Idle head management.
+    head_policy: HeadPolicy,
+    /// Steps spent on idle (off-critical-path) repositioning.
+    idle_steps: u64,
+}
+
+impl RacetrackLlc {
+    /// Number of stripes a line spans (512 bits = 64 B).
+    pub const STRIPES_PER_GROUP: u32 = 512;
+
+    /// Builds the racetrack LLC with the given protection scheme and
+    /// safe-distance policy, serviced by a single shift controller (the
+    /// paper's default "one request at a time" assumption).
+    pub fn new(kind: ProtectionKind, policy: ShiftPolicy) -> Self {
+        Self::with_banks(kind, policy, 1)
+    }
+
+    /// Builds a banked racetrack LLC: stripe groups are interleaved
+    /// over `banks` independent controllers, each tracking its own
+    /// inter-shift interval (Section 5.3's interleaving note — the
+    /// per-bank intensity drops by the bank count, so the adapter can
+    /// afford longer shifts at the same reliability target).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn with_banks(kind: ProtectionKind, policy: ShiftPolicy, banks: u32) -> Self {
+        assert!(banks > 0, "at least one bank required");
+        let design = LlcDesign::racetrack();
+        let geometry = StripeGeometry::paper_default();
+        let cache = Cache::new(design.capacity_bytes, 16, 64);
+        let lines = design.capacity_bytes / 64;
+        let groups = lines / geometry.data_len() as u64;
+        Self {
+            cache,
+            design,
+            controllers: (0..banks)
+                .map(|_| ShiftController::new(kind, policy))
+                .collect(),
+            geometry,
+            heads: vec![0; groups as usize],
+            stripes_per_group: Self::STRIPES_PER_GROUP,
+            stats_shift_ops: 0,
+            stats_shift_steps: 0,
+            stats_shift_cycles: 0,
+            zero_shift: 0,
+            ideal_shifts: false,
+            head_policy: HeadPolicy::Stay,
+            idle_steps: 0,
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> u32 {
+        self.controllers.len() as u32
+    }
+
+    /// Sets the idle head-management policy (builder style).
+    pub fn with_head_policy(mut self, policy: HeadPolicy) -> Self {
+        self.head_policy = policy;
+        self
+    }
+
+    /// Steps spent repositioning heads off the critical path.
+    pub fn idle_steps(&self) -> u64 {
+        self.idle_steps
+    }
+
+    /// An idealised racetrack LLC whose shifts are free (Fig. 16's
+    /// "RM-Ideal" upper bound). Protection risk is still accounted as
+    /// zero — the ideal memory has no position errors either.
+    pub fn ideal() -> Self {
+        let mut llc = Self::new(ProtectionKind::None, ShiftPolicy::Unconstrained);
+        llc.ideal_shifts = true;
+        llc
+    }
+
+    /// The stripe-group geometry.
+    pub fn geometry(&self) -> &StripeGeometry {
+        &self.geometry
+    }
+
+    /// The shift controller of bank 0 (diagnostics).
+    pub fn controller(&self) -> &ShiftController {
+        &self.controllers[0]
+    }
+
+    /// Aggregated controller statistics across all banks.
+    fn controller_totals(&self) -> rtm_controller::controller::ControllerStats {
+        let mut total = rtm_controller::controller::ControllerStats::default();
+        for c in &self.controllers {
+            let s = c.stats();
+            total.requests += s.requests;
+            total.operations += s.operations;
+            total.steps += s.steps;
+            total.shift_cycles += s.shift_cycles;
+            total.checks += s.checks;
+            total.expected_dues += s.expected_dues;
+            total.expected_sdcs += s.expected_sdcs;
+        }
+        total
+    }
+
+    /// Maps a (set, way) slot to its stripe group and domain index.
+    fn slot_to_group_domain(&self, set: u64, way: u32) -> (usize, usize) {
+        let line_index = set * self.cache.ways() as u64 + way as u64;
+        let d = self.geometry.data_len() as u64;
+        ((line_index / d) as usize, (line_index % d) as usize)
+    }
+
+    /// Positions the group's head for `domain`, issuing a shift through
+    /// the controller if needed. Returns the shift latency in cycles.
+    fn position_head(&mut self, group: usize, domain: usize, now: u64) -> u64 {
+        let target = self.geometry.head_position_for(domain) as u8;
+        let current = self.heads[group];
+        let latency = if target == current {
+            self.zero_shift += 1;
+            0
+        } else {
+            let distance = current.abs_diff(target) as u32;
+            let bank = group % self.controllers.len();
+            let plan = self.controllers[bank].plan_shift(distance, now);
+            self.stats_shift_ops += plan.sequence.len() as u64;
+            self.stats_shift_steps += distance as u64;
+            let latency = if self.ideal_shifts { 0 } else { plan.latency.count() };
+            self.stats_shift_cycles += latency;
+            latency
+        };
+        self.heads[group] = target;
+        // Idle management: after servicing, drift the head back to the
+        // centre of its range off the critical path. The steps (and
+        // their risk) are charged through the bank controller, the
+        // latency is not — the next access finds the head pre-centred.
+        if self.head_policy == HeadPolicy::ReturnToCentre {
+            let rest = (self.geometry.max_shift() / 2) as u8;
+            if self.heads[group] != rest {
+                let distance = self.heads[group].abs_diff(rest) as u32;
+                let bank = group % self.controllers.len();
+                let plan = self.controllers[bank].plan_shift(distance, now + latency);
+                self.stats_shift_ops += plan.sequence.len() as u64;
+                self.stats_shift_steps += distance as u64;
+                self.idle_steps += distance as u64;
+                self.heads[group] = rest;
+            }
+        }
+        latency
+    }
+}
+
+impl LlcModel for RacetrackLlc {
+    fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> LlcResponse {
+        let set = self.cache.set_of(addr);
+        let r = self.cache.access(addr, kind);
+        let (group, domain) = self.slot_to_group_domain(set, r.way());
+        let shift_latency = self.position_head(group, domain, now);
+        let array = match kind {
+            AccessKind::Read => self.design.read_cycles,
+            AccessKind::Write => self.design.write_cycles,
+        };
+        LlcResponse {
+            hit: r.is_hit(),
+            latency_cycles: shift_latency + array,
+            writeback: matches!(r, AccessResult::Miss { writeback: Some(_), .. }),
+        }
+    }
+
+    fn stats(&self) -> LlcStats {
+        let c = self.controller_totals();
+        LlcStats {
+            cache: *self.cache.stats(),
+            shift_ops: self.stats_shift_ops,
+            shift_steps: self.stats_shift_steps,
+            shift_cycles: self.stats_shift_cycles,
+            zero_shift_accesses: self.zero_shift,
+            // Each commanded sequence runs on every stripe of the group;
+            // any stripe failing fails the group.
+            expected_dues: c.expected_dues * self.stripes_per_group as f64,
+            expected_sdcs: c.expected_sdcs * self.stripes_per_group as f64,
+        }
+    }
+
+    fn design(&self) -> &LlcDesign {
+        &self.design
+    }
+
+    fn activity(&self, duration: Seconds) -> LlcActivity {
+        let s = self.cache.stats();
+        let c = self.controller_totals();
+        LlcActivity {
+            reads: s.reads,
+            writes: s.writes + s.writebacks,
+            shift_steps: self.stats_shift_steps,
+            shift_ops: self.stats_shift_ops,
+            pecc_checks: c.checks,
+            pecc_corrections: 0,
+            duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rm(kind: ProtectionKind, policy: ShiftPolicy) -> RacetrackLlc {
+        RacetrackLlc::new(kind, policy)
+    }
+
+    #[test]
+    fn group_mapping_is_contiguous() {
+        let llc = rm(ProtectionKind::None, ShiftPolicy::Unconstrained);
+        // Lines 0..63 share group 0, domains 0..63.
+        assert_eq!(llc.slot_to_group_domain(0, 0), (0, 0));
+        assert_eq!(llc.slot_to_group_domain(0, 15), (0, 15));
+        assert_eq!(llc.slot_to_group_domain(3, 15), (0, 63));
+        assert_eq!(llc.slot_to_group_domain(4, 0), (1, 0));
+    }
+
+    #[test]
+    fn repeated_access_to_same_line_shifts_once() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let r1 = llc.access(0x40, AccessKind::Read, 0);
+        let r2 = llc.access(0x40, AccessKind::Read, 100);
+        assert!(!r1.hit && r2.hit);
+        // Second access needs no shift: head already positioned.
+        assert_eq!(r2.latency_cycles, llc.design().read_cycles);
+        assert_eq!(llc.stats().zero_shift_accesses, 1);
+    }
+
+    #[test]
+    fn different_domains_force_shifts() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        // Same group, different ways → different domains: line 0 then
+        // line 1 (set 0 way 1 after allocating a second line).
+        llc.access(0x40, AccessKind::Read, 0);
+        let before = llc.stats().shift_steps;
+        // A second address in set 0: 0x40 + sets*64.
+        let stride = llc.cache.sets() * 64;
+        llc.access(0x40 + stride, AccessKind::Read, 10);
+        assert!(llc.stats().shift_steps > before);
+    }
+
+    #[test]
+    fn protected_llc_accumulates_risk_over_all_stripes() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Unconstrained);
+        let stride = llc.cache.sets() * 64;
+        for i in 0..100u64 {
+            llc.access(i * stride, AccessKind::Read, i * 50);
+        }
+        let s = llc.stats();
+        assert!(s.expected_dues > 0.0);
+        // Risk is per stripe × 512.
+        let c = llc.controller().stats();
+        assert!((s.expected_dues / c.expected_dues - 512.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_llc_has_free_shifts() {
+        let mut llc = RacetrackLlc::ideal();
+        let stride = llc.cache.sets() * 64;
+        llc.access(0, AccessKind::Read, 0);
+        let r = llc.access(stride, AccessKind::Read, 10);
+        assert_eq!(r.latency_cycles, llc.design().read_cycles);
+        assert!(llc.stats().shift_steps > 0, "shifts counted but free");
+        assert_eq!(llc.stats().shift_cycles, 0);
+    }
+
+    #[test]
+    fn simple_llc_flat_latency() {
+        let mut llc = SimpleLlc::new(LlcDesign::sram());
+        let r = llc.access(0x1234, AccessKind::Read, 0);
+        assert_eq!(r.latency_cycles, 24);
+        let w = llc.access(0x1234, AccessKind::Write, 1);
+        assert_eq!(w.latency_cycles, 22);
+        assert!(w.hit);
+    }
+
+    #[test]
+    fn step_by_step_policy_costs_more_cycles() {
+        let mut adaptive = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut stepwise = rm(ProtectionKind::SECDED_O, ShiftPolicy::StepByStep);
+        let stride = adaptive.cache.sets() * 64;
+        let mut t = 0;
+        for i in 0..200u64 {
+            // Jump between distant ways to force long shifts; generous
+            // intervals let the adaptive policy use long single shifts.
+            let addr = (i % 16) * stride;
+            t += 10_000;
+            adaptive.access(addr, AccessKind::Read, t);
+            stepwise.access(addr, AccessKind::Read, t);
+        }
+        let a = adaptive.stats().shift_cycles;
+        let s = stepwise.stats().shift_cycles;
+        assert!(s > a, "step-by-step {s} vs adaptive {a}");
+    }
+
+    #[test]
+    fn return_to_centre_halves_critical_path_distance() {
+        // Random-access pattern over many ways: centring the head
+        // between requests cuts the on-demand distance (latency) while
+        // paying more total steps (energy) — the head-management trade.
+        let mut stay = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut centre = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive)
+            .with_head_policy(HeadPolicy::ReturnToCentre);
+        let stride = stay.cache.sets() * 64;
+        let mut rng = rtm_util::rng::SmallRng64::new(11);
+        let mut t = 0u64;
+        for _ in 0..1500 {
+            let way = rng.next_below(16);
+            let addr = way * stride; // same set, 16 ways -> domains 0..15
+            t += 200;
+            stay.access(addr, AccessKind::Read, t);
+            centre.access(addr, AccessKind::Read, t);
+        }
+        let s = stay.stats();
+        let c = centre.stats();
+        assert!(
+            c.shift_cycles < s.shift_cycles,
+            "centre {} vs stay {} critical-path cycles",
+            c.shift_cycles,
+            s.shift_cycles
+        );
+        assert!(
+            c.shift_steps > s.shift_steps,
+            "centring must cost extra total steps"
+        );
+        assert!(centre.idle_steps() > 0);
+        assert_eq!(stay.idle_steps(), 0);
+    }
+
+    #[test]
+    fn banked_adaptive_sees_longer_intervals() {
+        // Interleaved traffic over many groups: a single adapter sees
+        // back-to-back shifts (short intervals, conservative sequences)
+        // while per-bank adapters each see 1/N of the traffic and can
+        // afford faster sequences at the same reliability target.
+        let mut single =
+            RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 1);
+        let mut banked =
+            RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 8);
+        assert_eq!(banked.banks(), 8);
+        let stride = single.cache.sets() * 64;
+        let mut t = 0u64;
+        for i in 0..2000u64 {
+            // Rotate across 32 groups (addresses in different sets) and
+            // across ways to force long shifts on each group.
+            let group = i % 32;
+            let way_jump = (i / 32) % 8;
+            let addr = group * 4 * 64 + way_jump * stride;
+            t += 40;
+            single.access(addr, AccessKind::Read, t);
+            banked.access(addr, AccessKind::Read, t);
+        }
+        let s = single.stats();
+        let b = banked.stats();
+        assert_eq!(s.shift_steps, b.shift_steps, "same physical work");
+        assert!(
+            b.shift_cycles <= s.shift_cycles,
+            "banked {} vs single {}",
+            b.shift_cycles,
+            s.shift_cycles
+        );
+        assert!(b.shift_ops <= s.shift_ops);
+    }
+
+    #[test]
+    fn activity_reflects_counters() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let stride = llc.cache.sets() * 64;
+        llc.access(0, AccessKind::Read, 0);
+        llc.access(stride, AccessKind::Write, 10);
+        let a = llc.activity(Seconds(1e-6));
+        assert_eq!(a.reads, 1);
+        assert_eq!(a.writes, 1);
+        assert!(a.shift_steps > 0);
+        assert!(a.pecc_checks > 0);
+        assert_eq!(a.duration, Seconds(1e-6));
+    }
+}

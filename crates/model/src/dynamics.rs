@@ -1,0 +1,225 @@
+//! Transit-time dynamics for domain walls (the paper's Eq. 2).
+//!
+//! The paper's one-dimensional model gives the time a wall spends
+//! crossing a flat region and escaping a notch region:
+//!
+//! ```text
+//! T_flat  = α·L / ((2α − β)·u)
+//! T_notch = τ · ln(1 + d/δl)
+//! ```
+//!
+//! with `u` the spin-transfer-torque velocity (proportional to the drive
+//! current density `J`). Rather than commit to absolute values of the
+//! material constants (α, β, γ, Ms) — which the paper also does not
+//! publish — we normalise the model so that at the nominal drive
+//! `J = 2·J₀` one full step takes [`crate::DeviceParams::step_time_ns`]
+//! (0.4 ns in the paper). All relative behaviours of Eq. 2 are kept:
+//!
+//! * transit time scales inversely with drive (`u ∝ J`);
+//! * the notch escape time diverges as `J → J₀` (the sub-threshold
+//!   regime exploited by STS);
+//! * process variation of `L`, `d`, `V` perturbs the per-step time.
+
+use crate::params::{DeviceParams, DeviceSample};
+
+/// Fraction of the nominal step time spent inside the notch region at the
+/// nominal drive. Derived from the Table 1 geometry: the notch is
+/// 45/195 ≈ 23 % of the pitch, and the wall is slowed in it, so we charge
+/// it a proportionally larger share of the transit time.
+const NOTCH_TIME_SHARE: f64 = 0.35;
+
+/// Computed per-step transit times for one stripe sample at a given
+/// drive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitTimes {
+    /// Time to cross the flat region (ns).
+    pub flat_ns: f64,
+    /// Time to escape the notch region (ns).
+    pub notch_ns: f64,
+}
+
+impl TransitTimes {
+    /// Total single-step time (ns).
+    pub fn step_ns(&self) -> f64 {
+        self.flat_ns + self.notch_ns
+    }
+}
+
+/// Evaluates the Eq. 2 transit times for `sample` when driven at
+/// `drive_ratio`× the threshold current density J₀.
+///
+/// # Panics
+///
+/// Panics if `drive_ratio <= 1.0`: below threshold the wall never leaves
+/// the notch region (that regime is modelled by [`sub_threshold_creep`]).
+pub fn transit_times(
+    params: &DeviceParams,
+    sample: &DeviceSample,
+    drive_ratio: f64,
+) -> TransitTimes {
+    assert!(
+        drive_ratio > 1.0,
+        "transit_times needs a super-threshold drive, got {drive_ratio}"
+    );
+    let nominal = DeviceSample::nominal(params);
+
+    // Flat region: T_flat = α L / ((2α − β) u), so T ∝ L / u with u ∝ J.
+    // Normalise against the nominal sample at the nominal drive.
+    let flat_nominal_ns = params.step_time_ns * (1.0 - NOTCH_TIME_SHARE);
+    let flat_ns = flat_nominal_ns * (sample.flat_width_nm / nominal.flat_width_nm)
+        * (params.drive_ratio / drive_ratio);
+
+    // Notch region: T_notch = τ ln(1 + d/δl). τ ∝ V (deeper pinning holds
+    // longer) and δl grows with drive margin (J − J₀), so escape time
+    // shrinks as the drive rises and diverges as J → J₀.
+    let notch_nominal_ns = params.step_time_ns * NOTCH_TIME_SHARE;
+    let depth_factor = sample.pin_depth / nominal.pin_depth;
+    let width_factor = sample.notch_width_nm / nominal.notch_width_nm;
+    // ln(1 + d/δl) with δl ∝ (J/J₀ − 1); normalised to 1 at the nominal
+    // drive ratio.
+    let escape = |ratio: f64| (1.0 + 1.0 / (ratio - 1.0)).ln();
+    let notch_ns =
+        notch_nominal_ns * depth_factor * width_factor * escape(drive_ratio)
+            / escape(params.drive_ratio);
+
+    TransitTimes { flat_ns, notch_ns }
+}
+
+/// Stage-1 pulse width for an `n`-step shift: the controller times the
+/// pulse for the *nominal* device, which is exactly why parameter
+/// variation causes position errors.
+pub fn stage1_pulse_ns(params: &DeviceParams, n: u32) -> f64 {
+    params.step_time_ns * n as f64
+}
+
+/// Velocity of a wall in the flat region, in steps per nanosecond, for a
+/// given sample and drive.
+pub fn flat_velocity_steps_per_ns(
+    params: &DeviceParams,
+    sample: &DeviceSample,
+    drive_ratio: f64,
+) -> f64 {
+    let t = transit_times(params, sample, drive_ratio);
+    1.0 / t.step_ns()
+}
+
+/// Distance (in steps) a wall creeps during a sub-threshold pulse.
+///
+/// Below J₀ the wall can move through a flat region but cannot escape a
+/// notch (the paper's STS observation). We model creep velocity as a
+/// fraction of the flat-region velocity proportional to the sub-threshold
+/// drive ratio; the returned value is clamped to the distance to the next
+/// notch by the caller.
+pub fn sub_threshold_creep(
+    params: &DeviceParams,
+    sample: &DeviceSample,
+    sub_ratio: f64,
+    pulse_ns: f64,
+) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&sub_ratio),
+        "sub-threshold ratio must be in [0, 1], got {sub_ratio}"
+    );
+    if sub_ratio == 0.0 {
+        return 0.0;
+    }
+    // Reuse the flat-region scaling (T ∝ 1/J): velocity at sub_ratio·J₀
+    // relative to the nominal drive (drive_ratio·J₀).
+    let nominal_v = flat_velocity_steps_per_ns(params, sample, params.drive_ratio);
+    let v = nominal_v * (sub_ratio / params.drive_ratio);
+    v * pulse_ns
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_util::rng::SmallRng64;
+
+    fn nominal() -> (DeviceParams, DeviceSample) {
+        let p = DeviceParams::table1();
+        let s = DeviceSample::nominal(&p);
+        (p, s)
+    }
+
+    #[test]
+    fn nominal_step_time_matches_configuration() {
+        let (p, s) = nominal();
+        let t = transit_times(&p, &s, p.drive_ratio);
+        assert!((t.step_ns() - p.step_time_ns).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_drive_is_faster() {
+        let (p, s) = nominal();
+        let slow = transit_times(&p, &s, 1.5).step_ns();
+        let fast = transit_times(&p, &s, 3.0).step_ns();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn notch_escape_diverges_toward_threshold() {
+        let (p, s) = nominal();
+        let near = transit_times(&p, &s, 1.01).notch_ns;
+        let at2 = transit_times(&p, &s, 2.0).notch_ns;
+        assert!(near > 4.0 * at2, "near-threshold escape {near} vs nominal {at2}");
+    }
+
+    #[test]
+    fn wider_flat_region_takes_longer() {
+        let (p, mut s) = nominal();
+        let base = transit_times(&p, &s, 2.0).flat_ns;
+        s.flat_width_nm *= 1.1;
+        let wide = transit_times(&p, &s, 2.0).flat_ns;
+        assert!((wide / base - 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deeper_pinning_slows_escape() {
+        let (p, mut s) = nominal();
+        let base = transit_times(&p, &s, 2.0).notch_ns;
+        s.pin_depth *= 1.2;
+        let deep = transit_times(&p, &s, 2.0).notch_ns;
+        assert!(deep > base);
+    }
+
+    #[test]
+    fn stage1_pulse_is_linear_in_steps() {
+        let p = DeviceParams::table1();
+        assert!((stage1_pulse_ns(&p, 1) - 0.4).abs() < 1e-12);
+        assert!((stage1_pulse_ns(&p, 7) - 2.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn creep_cannot_exceed_one_step_under_short_pulse() {
+        let (p, s) = nominal();
+        // A 1 ns pulse at half threshold creeps far less than a full step.
+        let d = sub_threshold_creep(&p, &s, 0.5, 1.0);
+        assert!(d > 0.0 && d < 1.0, "creep {d}");
+    }
+
+    #[test]
+    fn creep_zero_at_zero_drive() {
+        let (p, s) = nominal();
+        assert_eq!(sub_threshold_creep(&p, &s, 0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn process_variation_spreads_step_times() {
+        let p = DeviceParams::table1();
+        let mut rng = SmallRng64::new(11);
+        let mut stats = rtm_util::stats::OnlineStats::new();
+        for _ in 0..20_000 {
+            let s = p.sample_process(&mut rng);
+            stats.push(transit_times(&p, &s, p.drive_ratio).step_ns());
+        }
+        assert!((stats.mean() - p.step_time_ns).abs() < 0.005);
+        assert!(stats.std_dev() > 0.005, "expected visible spread");
+    }
+
+    #[test]
+    #[should_panic]
+    fn transit_times_reject_sub_threshold_drive() {
+        let (p, s) = nominal();
+        let _ = transit_times(&p, &s, 0.9);
+    }
+}

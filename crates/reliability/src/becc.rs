@@ -1,0 +1,156 @@
+//! Why conventional bit-error ECC fails against position errors —
+//! the quantitative model behind the paper's Section 3.2.
+//!
+//! Two data layouts, two failure modes:
+//!
+//! * **word-per-stripe** — multiple bits of a protected word live on
+//!   one stripe. A ±1 position error shifts *all* of them together, so
+//!   the b-ECC check simply evaluates a different (but internally
+//!   consistent) word: the error is structurally undetectable.
+//! * **bit-interleaved** — one bit per stripe (the 512-stripe line
+//!   groups). A single desynchronised stripe looks like a 1-bit error,
+//!   which SECDED b-ECC happily "corrects" on every read — but the
+//!   stripe stays physically misaligned, so latent desyncs accumulate
+//!   until two overlap (uncorrectable / miscorrected). The only cure
+//!   is a full refresh, which itself costs thousands of shifts; the
+//!   probability that a *second* position error lands during the
+//!   refresh is the paper's 0.17 for its 8-bit-stripe example, and the
+//!   resulting MTTF collapses to the paper's quoted ~20 ms.
+
+use rtm_util::math::any_of_n;
+use rtm_util::units::Seconds;
+
+/// Parameters of a bit-interleaved b-ECC protected racetrack memory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BitEccScenario {
+    /// Stripes per protected line group (512 for a 64 B line).
+    pub stripes: u32,
+    /// Data domains per stripe.
+    pub stripe_bits: u32,
+    /// Per-shift, per-stripe position error rate (±1 dominates).
+    pub error_rate_per_shift: f64,
+    /// Group shift commands per second.
+    pub group_shift_intensity: f64,
+}
+
+impl BitEccScenario {
+    /// The paper's Section 3.2 example: 8-bit stripes, 512-stripe
+    /// groups, 1-step error rate from Table 2.
+    pub fn paper_example(group_shift_intensity: f64) -> Self {
+        Self {
+            stripes: 512,
+            stripe_bits: 8,
+            error_rate_per_shift: 4.55e-5,
+            group_shift_intensity,
+        }
+    }
+
+    /// Shift operations needed to refresh (re-read and rewrite) every
+    /// domain of every stripe in the group: each stripe's full content
+    /// passes its port once, i.e. `stripe_bits` 1-step shifts per
+    /// stripe.
+    pub fn refresh_shift_ops(&self) -> u64 {
+        self.stripes as u64 * self.stripe_bits as u64
+    }
+
+    /// Probability that at least one further position error occurs
+    /// somewhere in the group *during* the refresh — the paper's 0.17.
+    pub fn second_error_probability(&self) -> f64 {
+        any_of_n(self.error_rate_per_shift, self.refresh_shift_ops() as f64)
+    }
+
+    /// Rate at which the group detects a 1-bit (single-stripe) desync,
+    /// triggering a refresh.
+    pub fn detection_rate_per_second(&self) -> f64 {
+        // Any of the stripes may slip on any group shift command.
+        self.error_rate_per_shift * self.stripes as f64 * self.group_shift_intensity
+    }
+
+    /// MTTF of the b-ECC protected memory: a failure occurs when a
+    /// refresh (triggered at the detection rate) suffers a second
+    /// error — at which point two stripes are desynchronised and
+    /// SECDED b-ECC mis-corrects or flags an uncorrectable error.
+    pub fn mttf(&self) -> Seconds {
+        let failure_rate = self.detection_rate_per_second() * self.second_error_probability();
+        if failure_rate <= 0.0 {
+            Seconds(f64::INFINITY)
+        } else {
+            Seconds(1.0 / failure_rate)
+        }
+    }
+}
+
+/// The word-per-stripe layout: a uniform k-step shift of the whole
+/// word is invisible to any bit-ECC (the syndrome of a valid codeword's
+/// shifted *neighbour* is again a valid codeword of the neighbouring
+/// data). Returns the fraction of position errors detected: zero.
+pub fn word_per_stripe_detection_fraction() -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_second_error_probability() {
+        // "For an 8-bit racetrack memory stripe, the possibility is
+        // about 0.17."
+        let s = BitEccScenario::paper_example(1.0e6);
+        let p = s.second_error_probability();
+        assert!((0.15..0.20).contains(&p), "second-error probability {p:.3}");
+    }
+
+    #[test]
+    fn paper_mttf_collapses_to_milliseconds() {
+        // "the MTTF after using b-ECC is 20ms" — reproduced at the
+        // intensity that makes the paper's numbers self-consistent
+        // (~12.5 K group commands/s keeps the LLC modestly busy).
+        let s = BitEccScenario::paper_example(12_500.0);
+        let mttf = s.mttf().as_secs();
+        assert!(
+            (5e-3..1e-1).contains(&mttf),
+            "b-ECC MTTF {mttf:.4} s (paper: ~20 ms)"
+        );
+        // Far, far from the 10-year target at ANY plausible intensity.
+        let busy = BitEccScenario::paper_example(1.0e7);
+        assert!(busy.mttf().as_secs() < 1.0);
+    }
+
+    #[test]
+    fn word_per_stripe_is_blind() {
+        assert_eq!(word_per_stripe_detection_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pecc_beats_becc_by_many_orders() {
+        // The paper's punchline: dedicated position protection, not
+        // bit protection, is what racetrack memory needs.
+        let becc = BitEccScenario::paper_example(1.0e7).mttf().as_secs();
+        let pecc = crate::accounting::ReliabilityReport::analytic(
+            rtm_pecc::layout::ProtectionKind::SECDED,
+            &crate::accounting::ShiftMix::uniform(1..=3),
+            1.0e7 * 512.0,
+        )
+        .due_mttf()
+        .as_secs();
+        assert!(pecc > becc * 1e9, "p-ECC {pecc:.3e} vs b-ECC {becc:.3e}");
+    }
+
+    #[test]
+    fn refresh_cost_scales_with_geometry() {
+        let small = BitEccScenario::paper_example(1e6);
+        let mut large = small;
+        large.stripe_bits = 64;
+        assert_eq!(small.refresh_shift_ops(), 512 * 8);
+        assert_eq!(large.refresh_shift_ops(), 512 * 64);
+        assert!(large.second_error_probability() > small.second_error_probability());
+    }
+
+    #[test]
+    fn mttf_monotone_in_intensity() {
+        let slow = BitEccScenario::paper_example(1e4).mttf().as_secs();
+        let fast = BitEccScenario::paper_example(1e6).mttf().as_secs();
+        assert!(fast < slow);
+    }
+}

@@ -1,0 +1,125 @@
+//! The motivation curve — Fig. 1 of the paper.
+//!
+//! For a racetrack LLC performing `I` shift operations per second, a
+//! per-stripe position-error rate `p` yields MTTF `1/(p·I·stripes)`
+//! (every stripe of the commanded group fails independently). The paper
+//! plots this against `p` and reads off that reaching a 10-year MTTF
+//! needs rates below roughly 10⁻¹⁹ — while physical shifts deliver
+//! 10⁻⁴–10⁻⁵.
+
+use rtm_model::rates::mttf_for_error_rate;
+use rtm_util::units::Seconds;
+
+/// One point of the Fig. 1 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Figure1Point {
+    /// Per-stripe, per-shift position error rate.
+    pub error_rate: f64,
+    /// Resulting MTTF.
+    pub mttf: Seconds,
+}
+
+/// Reference lines the paper draws on Fig. 1.
+pub const REFERENCE_LINES: [(&str, f64); 5] = [
+    ("1000 years", 1000.0 * rtm_util::units::SECONDS_PER_YEAR),
+    ("10 years", 10.0 * rtm_util::units::SECONDS_PER_YEAR),
+    ("1 month", 30.0 * 24.0 * 3600.0),
+    ("1 day", 24.0 * 3600.0),
+    ("1 min", 60.0),
+];
+
+/// The effective shift intensity of the Fig. 1 LLC (group shift
+/// commands per second times stripes per group): the STAG-style 128 MB
+/// LLC at its peak access rate.
+pub fn paper_effective_intensity() -> f64 {
+    // 62.5 M shift-bearing accesses/s × 512 stripes per line group.
+    6.25e7 * 512.0
+}
+
+/// Generates the Fig. 1 curve over `[rate_lo, rate_hi]` with
+/// `points_per_decade` logarithmically spaced samples.
+///
+/// # Panics
+///
+/// Panics unless `0 < rate_lo < rate_hi <= 1` and
+/// `points_per_decade > 0`.
+pub fn figure1_curve(
+    rate_lo: f64,
+    rate_hi: f64,
+    points_per_decade: u32,
+    effective_intensity: f64,
+) -> Vec<Figure1Point> {
+    assert!(rate_lo > 0.0 && rate_lo < rate_hi && rate_hi <= 1.0);
+    assert!(points_per_decade > 0);
+    let decades = (rate_hi / rate_lo).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|i| {
+            let f = i as f64 / (n - 1) as f64;
+            let error_rate = rate_lo * 10f64.powf(f * decades);
+            Figure1Point {
+                error_rate,
+                mttf: mttf_for_error_rate(error_rate, effective_intensity),
+            }
+        })
+        .collect()
+}
+
+/// The error rate needed to reach `target` MTTF at the Fig. 1
+/// intensity — the "must be lower than 10⁻¹⁹" reading.
+pub fn required_rate(target: Seconds) -> f64 {
+    rtm_model::rates::required_rate_for_mttf(target, paper_effective_intensity())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_year_target_needs_1e19() {
+        let rate = required_rate(Seconds::from_years(10.0));
+        // Paper: "position error rate needs to be at least lower than
+        // 10^-19 to satisfy a requirement of 10-year MTTF".
+        assert!(
+            (1e-20..1e-18).contains(&rate),
+            "required rate {rate:.3e}"
+        );
+    }
+
+    #[test]
+    fn typical_rates_fail_catastrophically() {
+        // At the physical 1e-4..1e-5 rates, MTTF is microseconds.
+        let p = figure1_curve(1e-5, 1e-4, 1, paper_effective_intensity());
+        for pt in &p {
+            assert!(pt.mttf.as_secs() < 1e-2, "{:?}", pt);
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let pts = figure1_curve(1e-24, 1e-2, 4, paper_effective_intensity());
+        for w in pts.windows(2) {
+            assert!(w[1].error_rate > w[0].error_rate);
+            assert!(w[1].mttf.as_secs() < w[0].mttf.as_secs());
+        }
+    }
+
+    #[test]
+    fn curve_spans_reference_lines() {
+        let pts = figure1_curve(1e-24, 1e-2, 4, paper_effective_intensity());
+        let lo = pts.last().unwrap().mttf.as_secs();
+        let hi = pts.first().unwrap().mttf.as_secs();
+        for (name, line) in REFERENCE_LINES {
+            assert!(
+                (lo..hi).contains(&line),
+                "reference {name} outside curve range"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_range_rejected() {
+        let _ = figure1_curve(1e-3, 1e-5, 4, 1e9);
+    }
+}

@@ -1,0 +1,209 @@
+//! Trace recording and replay.
+//!
+//! Synthetic generation is deterministic given a seed, but downstream
+//! users often want to exchange *exact* access streams (e.g. to compare
+//! against another simulator, or to pin a regression). This module
+//! provides a compact binary format:
+//!
+//! ```text
+//! magic "RTMT" | version u16 | count u64 | records...
+//! record: addr u64 | gap u32 | core u8 | flags u8   (14 bytes LE)
+//! ```
+
+use crate::generator::{MemAccess, TraceGenerator};
+use std::fmt;
+use std::io::{Read, Write};
+
+const MAGIC: &[u8; 4] = b"RTMT";
+const VERSION: u16 = 1;
+const RECORD_BYTES: usize = 14;
+
+/// Errors from trace (de)serialisation.
+#[derive(Debug)]
+pub enum ReplayError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The stream ended before the declared record count.
+    Truncated {
+        /// Records expected from the header.
+        expected: u64,
+        /// Records actually decoded.
+        got: u64,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Io(e) => write!(f, "i/o: {e}"),
+            ReplayError::BadMagic => write!(f, "not a racetrack trace (bad magic)"),
+            ReplayError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            ReplayError::Truncated { expected, got } => {
+                write!(f, "trace truncated: {got} of {expected} records")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplayError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ReplayError {
+    fn from(e: std::io::Error) -> Self {
+        ReplayError::Io(e)
+    }
+}
+
+/// Writes `accesses` to `sink` in the binary trace format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the sink.
+pub fn write_trace<W: Write>(mut sink: W, accesses: &[MemAccess]) -> Result<(), ReplayError> {
+    sink.write_all(MAGIC)?;
+    sink.write_all(&VERSION.to_le_bytes())?;
+    sink.write_all(&(accesses.len() as u64).to_le_bytes())?;
+    let mut buf = Vec::with_capacity(accesses.len() * RECORD_BYTES);
+    for a in accesses {
+        buf.extend_from_slice(&a.addr.to_le_bytes());
+        buf.extend_from_slice(&a.gap_instructions.to_le_bytes());
+        buf.push(a.core);
+        buf.push(u8::from(a.is_write));
+    }
+    sink.write_all(&buf)?;
+    Ok(())
+}
+
+/// Reads a full trace from `source`.
+///
+/// # Errors
+///
+/// Returns [`ReplayError`] on malformed input or I/O failure.
+pub fn read_trace<R: Read>(mut source: R) -> Result<Vec<MemAccess>, ReplayError> {
+    let mut magic = [0u8; 4];
+    source.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReplayError::BadMagic);
+    }
+    let mut v = [0u8; 2];
+    source.read_exact(&mut v)?;
+    let version = u16::from_le_bytes(v);
+    if version != VERSION {
+        return Err(ReplayError::BadVersion(version));
+    }
+    let mut c = [0u8; 8];
+    source.read_exact(&mut c)?;
+    let count = u64::from_le_bytes(c);
+
+    let mut out = Vec::with_capacity(count.min(1 << 24) as usize);
+    let mut rec = [0u8; RECORD_BYTES];
+    for got in 0..count {
+        if let Err(e) = source.read_exact(&mut rec) {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                return Err(ReplayError::Truncated { expected: count, got });
+            }
+            return Err(e.into());
+        }
+        out.push(MemAccess {
+            addr: u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")),
+            gap_instructions: u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes")),
+            core: rec[12],
+            is_write: rec[13] != 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Records `n` accesses from a generator into a byte buffer (the
+/// round-trip convenience used by tests and tooling).
+pub fn record(gen: &mut TraceGenerator, n: usize) -> Vec<u8> {
+    let accesses = gen.take_vec(n);
+    let mut buf = Vec::new();
+    write_trace(&mut buf, &accesses).expect("writing to a Vec cannot fail");
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::WorkloadProfile;
+
+    fn sample(n: usize) -> Vec<MemAccess> {
+        let p = WorkloadProfile::by_name("vips").unwrap();
+        TraceGenerator::new(p, 9).take_vec(n)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let accesses = sample(1000);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &accesses).unwrap();
+        assert_eq!(buf.len(), 14 + 1000 * RECORD_BYTES);
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back, accesses);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let buf = b"NOPE\x01\x00\x00\x00\x00\x00\x00\x00\x00\x00".to_vec();
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReplayError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &[]).unwrap();
+        buf[4] = 99;
+        assert!(matches!(
+            read_trace(buf.as_slice()),
+            Err(ReplayError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn truncation_detected_with_counts() {
+        let accesses = sample(10);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &accesses).unwrap();
+        buf.truncate(buf.len() - 5);
+        match read_trace(buf.as_slice()) {
+            Err(ReplayError::Truncated { expected: 10, got: 9 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn record_convenience_matches_manual() {
+        let p = WorkloadProfile::by_name("x264").unwrap();
+        let buf = record(&mut TraceGenerator::new(p, 3), 50);
+        let via_gen = TraceGenerator::new(p, 3).take_vec(50);
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), via_gen);
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = ReplayError::Truncated { expected: 5, got: 2 };
+        assert!(e.to_string().contains("2 of 5"));
+        assert!(ReplayError::BadMagic.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the synthetic trace generator and the replay
+//! format.
+
+use proptest::prelude::*;
+use rtm_trace::replay::{read_trace, write_trace};
+use rtm_trace::{MemAccess, TraceGenerator, WorkloadProfile};
+
+fn profiles() -> Vec<WorkloadProfile> {
+    WorkloadProfile::parsec().to_vec()
+}
+
+proptest! {
+    /// Every profile generates addresses inside its working set, word
+    /// aligned, with cores cycling over the configured count.
+    #[test]
+    fn generation_respects_profile(pidx in 0usize..12, seed in 0u64..1000, n in 1usize..500) {
+        let p = profiles()[pidx];
+        let mut g = TraceGenerator::new(p, seed);
+        for i in 0..n {
+            let a = g.next_access();
+            prop_assert!(a.addr < p.working_set_bytes);
+            prop_assert_eq!(a.addr % 8, 0);
+            prop_assert_eq!(a.core as usize, i % 4);
+        }
+        prop_assert_eq!(g.generated(), n as u64);
+    }
+
+    /// Two generators with the same seed stay in lock-step regardless
+    /// of how the draws are interleaved.
+    #[test]
+    fn determinism_under_interleaving(seed in 0u64..1000, chunks in proptest::collection::vec(1usize..50, 1..8)) {
+        let p = WorkloadProfile::by_name("ferret").unwrap();
+        let mut a = TraceGenerator::new(p, seed);
+        let mut b = TraceGenerator::new(p, seed);
+        // a draws everything at once; b draws in chunks.
+        let total: usize = chunks.iter().sum();
+        let ones = a.take_vec(total);
+        let mut twos = Vec::new();
+        for c in &chunks {
+            twos.extend(b.take_vec(*c));
+        }
+        prop_assert_eq!(ones, twos);
+    }
+
+    /// Replay round-trips arbitrary access records, not just generated
+    /// ones (full field-range coverage).
+    #[test]
+    fn replay_round_trips_arbitrary_records(
+        records in proptest::collection::vec(
+            (any::<u64>(), any::<u32>(), any::<u8>(), any::<bool>()),
+            0..200,
+        )
+    ) {
+        let accesses: Vec<MemAccess> = records
+            .iter()
+            .map(|&(addr, gap, core, w)| MemAccess {
+                addr,
+                gap_instructions: gap,
+                core,
+                is_write: w,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &accesses).expect("vec write");
+        prop_assert_eq!(read_trace(buf.as_slice()).expect("read"), accesses);
+    }
+
+    /// The serialised size is exactly header + 14 bytes per record.
+    #[test]
+    fn replay_size_is_exact(n in 0usize..300) {
+        let p = WorkloadProfile::by_name("vips").unwrap();
+        let accesses = TraceGenerator::new(p, 1).take_vec(n);
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &accesses).expect("vec write");
+        prop_assert_eq!(buf.len(), 14 + n * 14);
+    }
+}

@@ -1,0 +1,302 @@
+//! Lockstep stripe groups holding one cache line.
+//!
+//! The paper's LLC interleaves each 64-byte cache line bit-by-bit over
+//! 512 stripes that share one shift command: reading word `j` of the
+//! line means shifting *all* 512 stripes to head position `j`'s target
+//! and reading one bit from each. Each stripe's walls move under its own
+//! physics, so a position error desynchronises one stripe from the rest
+//! of the group — the failure mode conventional per-line ECC cannot
+//! attribute (Section 3.2).
+
+use crate::bit::Bit;
+use crate::fault::FaultModel;
+use crate::geometry::StripeGeometry;
+use crate::stripe::{SegmentedStripe, StripeError};
+use rtm_model::shift::ShiftOutcome;
+
+/// A group of stripes that shift together.
+#[derive(Debug, Clone)]
+pub struct StripeArray {
+    stripes: Vec<SegmentedStripe>,
+    geometry: StripeGeometry,
+    believed_head: i64,
+    shift_ops: u64,
+    total_steps: u64,
+}
+
+impl StripeArray {
+    /// Creates `count` zeroed stripes with shared geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    pub fn zeroed(geometry: StripeGeometry, count: usize) -> Self {
+        assert!(count > 0, "array needs at least one stripe");
+        Self {
+            stripes: vec![SegmentedStripe::zeroed(geometry); count],
+            geometry,
+            believed_head: 0,
+            shift_ops: 0,
+            total_steps: 0,
+        }
+    }
+
+    /// Number of stripes in the group.
+    pub fn len(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Always false — construction requires at least one stripe.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shared geometry.
+    pub fn geometry(&self) -> &StripeGeometry {
+        &self.geometry
+    }
+
+    /// The believed head position (identical across the group by
+    /// construction; actual per-stripe positions may differ after
+    /// errors).
+    pub fn believed_head(&self) -> i64 {
+        self.believed_head
+    }
+
+    /// Number of shift commands issued.
+    pub fn shift_ops(&self) -> u64 {
+        self.shift_ops
+    }
+
+    /// Total steps commanded across all shift operations.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Immutable view of a member stripe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stripe(&self, i: usize) -> &SegmentedStripe {
+        &self.stripes[i]
+    }
+
+    /// Mutable view of a member stripe (fault-injection tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn stripe_mut(&mut self, i: usize) -> &mut SegmentedStripe {
+        &mut self.stripes[i]
+    }
+
+    /// Issues one lockstep shift of `delta` steps (positive = right).
+    /// Every stripe's outcome is drawn independently from `faults`.
+    /// Returns the per-stripe outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0`.
+    pub fn shift(&mut self, delta: i64, faults: &mut dyn FaultModel) -> Vec<ShiftOutcome> {
+        assert!(delta != 0, "zero-distance shifts are controller no-ops");
+        let distance = delta.unsigned_abs() as u32;
+        let outcomes: Vec<ShiftOutcome> = self
+            .stripes
+            .iter_mut()
+            .map(|s| {
+                let outcome = faults.sample(distance);
+                s.apply_shift(delta, outcome);
+                outcome
+            })
+            .collect();
+        self.believed_head += delta;
+        self.shift_ops += 1;
+        self.total_steps += distance as u64;
+        outcomes
+    }
+
+    /// Shifts the group to head position `target` (error-free shortcut
+    /// used by functional tests), one lockstep command.
+    ///
+    /// # Errors
+    ///
+    /// [`StripeError::HeadOutOfRange`] if `target` exceeds the geometry.
+    pub fn seek(&mut self, target: usize) -> Result<(), StripeError> {
+        if target > self.geometry.max_shift() {
+            return Err(StripeError::HeadOutOfRange {
+                head: target as i64,
+                max: self.geometry.max_shift(),
+            });
+        }
+        let delta = target as i64 - self.believed_head;
+        if delta != 0 {
+            let mut ideal = crate::fault::IdealFaultModel;
+            self.shift(delta, &mut ideal);
+        }
+        Ok(())
+    }
+
+    /// Reads the bit of data domain `d` from every stripe at the current
+    /// head position, *without* shifting: the caller is responsible for
+    /// having sought to the right position. Returns `Unknown` bits where
+    /// stripes are misaligned or desynchronised reads fall on unknown
+    /// domains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is outside the data region or the believed head
+    /// does not match `d`'s target position (a controller logic error).
+    pub fn read_bits(&self, d: usize) -> Vec<Bit> {
+        let want = self.geometry.head_position_for(d) as i64;
+        assert_eq!(
+            self.believed_head, want,
+            "array head {} does not match domain {d} (needs {want})",
+            self.believed_head
+        );
+        let port = self.geometry.port_of_domain(d);
+        let slot = self.geometry.port_slot(port);
+        self.stripes
+            .iter()
+            .map(|s| s.stripe().read_slot(slot).unwrap_or(Bit::Unknown))
+            .collect()
+    }
+
+    /// Writes one bit per stripe at data domain `d` (shift-based write
+    /// abstraction). Stripes that are misaligned reject the write.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StripeError`] hit, after attempting every
+    /// stripe (so aligned stripes are still written — mirroring hardware
+    /// where each write head acts independently).
+    ///
+    /// # Panics
+    ///
+    /// Panics on head/domain mismatch like [`StripeArray::read_bits`],
+    /// or if `bits.len() != self.len()`.
+    pub fn write_bits(&mut self, d: usize, bits: &[Bit]) -> Result<(), StripeError> {
+        assert_eq!(bits.len(), self.stripes.len(), "one bit per stripe");
+        let want = self.geometry.head_position_for(d) as i64;
+        assert_eq!(
+            self.believed_head, want,
+            "array head {} does not match domain {d} (needs {want})",
+            self.believed_head
+        );
+        let port = self.geometry.port_of_domain(d);
+        let slot = self.geometry.port_slot(port);
+        let mut first_err = None;
+        for (s, &b) in self.stripes.iter_mut().zip(bits) {
+            if let Err(e) = s.stripe_mut().write_slot(slot, b) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// True when every stripe's actual offset equals the believed head —
+    /// i.e. no unrepaired position error is latent in the group.
+    pub fn is_synchronised(&self) -> bool {
+        self.stripes
+            .iter()
+            .all(|s| s.stripe().actual_offset() == self.believed_head && s.stripe().is_aligned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{IdealFaultModel, ScriptedFaultModel};
+
+    fn small_array() -> StripeArray {
+        StripeArray::zeroed(StripeGeometry::new(16, 2).unwrap(), 4)
+    }
+
+    #[test]
+    fn lockstep_seek_and_read() {
+        let mut a = small_array();
+        // Write domain 3 on all stripes: bits 1,0,1,0.
+        a.seek(a.geometry().head_position_for(3)).unwrap();
+        a.write_bits(3, &[Bit::One, Bit::Zero, Bit::One, Bit::Zero]).unwrap();
+        let got = a.read_bits(3);
+        assert_eq!(got, vec![Bit::One, Bit::Zero, Bit::One, Bit::Zero]);
+        assert!(a.is_synchronised());
+    }
+
+    #[test]
+    fn shift_counters_accumulate() {
+        let mut a = small_array();
+        let mut ideal = IdealFaultModel;
+        a.shift(3, &mut ideal);
+        a.shift(-2, &mut ideal);
+        assert_eq!(a.shift_ops(), 2);
+        assert_eq!(a.total_steps(), 5);
+        assert_eq!(a.believed_head(), 1);
+    }
+
+    #[test]
+    fn one_faulty_stripe_desynchronises_group() {
+        let mut a = small_array();
+        // Stripe 0 over-shifts by one; others are clean.
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
+        let outcomes = a.shift(2, &mut faults);
+        assert_eq!(outcomes[0], ShiftOutcome::Pinned { offset: 1 });
+        assert!(outcomes[1..].iter().all(|o| o.is_success()));
+        assert!(!a.is_synchronised());
+        assert_eq!(a.stripe(0).stripe().actual_offset(), 3);
+        assert_eq!(a.stripe(1).stripe().actual_offset(), 2);
+    }
+
+    #[test]
+    fn desynchronised_stripe_reads_wrong_bit() {
+        let geom = StripeGeometry::new(16, 2).unwrap();
+        let mut a = StripeArray::zeroed(geom, 2);
+        // Program a distinguishable pattern into stripe 0 via domain
+        // writes: domain 6 = 1, everything else 0.
+        a.seek(geom.head_position_for(6)).unwrap();
+        a.write_bits(6, &[Bit::One, Bit::One]).unwrap();
+        // Return to head 0, then shift with stripe 0 erring +1.
+        a.seek(0).unwrap();
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
+        let target = geom.head_position_for(6) as i64;
+        a.shift(target, &mut faults);
+        let bits = a.read_bits(6);
+        // Stripe 1 (clean) sees the programmed 1; stripe 0 is off by one
+        // physical slot and reads its neighbour (a 0) — silent corruption.
+        assert_eq!(bits[1], Bit::One);
+        assert_eq!(bits[0], Bit::Zero);
+    }
+
+    #[test]
+    fn misaligned_stripe_rejects_write_but_others_succeed() {
+        let mut a = small_array();
+        let mut faults =
+            ScriptedFaultModel::new([ShiftOutcome::StopInMiddle { lower: 0, frac: 0.3 }]);
+        let target = a.geometry().head_position_for(3) as i64;
+        a.shift(target, &mut faults);
+        let err = a.write_bits(3, &[Bit::One; 4]);
+        assert_eq!(err, Err(StripeError::Misaligned));
+        // The clean stripes were still written.
+        assert_eq!(
+            a.stripe(1).stripe().read_slot(a.geometry().port_slot(0)).unwrap(),
+            Bit::One
+        );
+    }
+
+    #[test]
+    fn read_bits_panics_on_wrong_head() {
+        let a = small_array();
+        // Head is 0; domain 0 needs head 7.
+        let r = std::panic::catch_unwind(|| a.read_bits(0));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn seek_out_of_range_is_rejected() {
+        let mut a = small_array();
+        assert!(a.seek(100).is_err());
+    }
+}

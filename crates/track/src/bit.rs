@@ -1,0 +1,137 @@
+//! Three-valued domain content.
+
+use std::fmt;
+
+/// The magnetisation content of one domain.
+///
+/// Besides the two programmed values, a domain can be *unknown*: fresh
+/// domains shifted in from beyond the stripe ends carry no defined value,
+/// and a read through a misaligned (stop-in-middle) port senses an
+/// indeterminate resistance — the "?" of the paper's Fig. 3(c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Programmed logic zero (parallel magnetisation).
+    #[default]
+    Zero,
+    /// Programmed logic one (anti-parallel magnetisation).
+    One,
+    /// Indeterminate content.
+    Unknown,
+}
+
+impl Bit {
+    /// Converts to a boolean, or `None` when indeterminate.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::Unknown => None,
+        }
+    }
+
+    /// True when the bit has a defined value.
+    pub fn is_known(self) -> bool {
+        self != Bit::Unknown
+    }
+
+    /// Logical inverse; `Unknown` stays `Unknown`.
+    pub fn invert(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::Unknown => Bit::Unknown,
+        }
+    }
+
+    /// Packs a slice of bits into bytes (LSB-first). Unknown bits map to
+    /// zero — callers that care must check [`Bit::is_known`] first.
+    pub fn pack(bits: &[Bit]) -> Vec<u8> {
+        let mut out = vec![0u8; bits.len().div_ceil(8)];
+        for (i, b) in bits.iter().enumerate() {
+            if *b == Bit::One {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Unpacks `n` bits from bytes (LSB-first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` holds fewer than `n` bits.
+    pub fn unpack(bytes: &[u8], n: usize) -> Vec<Bit> {
+        assert!(bytes.len() * 8 >= n, "not enough bytes for {n} bits");
+        (0..n)
+            .map(|i| {
+                if bytes[i / 8] & (1 << (i % 8)) != 0 {
+                    Bit::One
+                } else {
+                    Bit::Zero
+                }
+            })
+            .collect()
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Bit::Zero => '0',
+            Bit::One => '1',
+            Bit::Unknown => '?',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Bit::from(true), Bit::One);
+        assert_eq!(Bit::from(false), Bit::Zero);
+        assert_eq!(Bit::One.to_bool(), Some(true));
+        assert_eq!(Bit::Unknown.to_bool(), None);
+        assert!(!Bit::Unknown.is_known());
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        assert_eq!(Bit::Zero.invert(), Bit::One);
+        assert_eq!(Bit::One.invert().invert(), Bit::One);
+        assert_eq!(Bit::Unknown.invert(), Bit::Unknown);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let bits: Vec<Bit> = (0..19).map(|i| Bit::from(i % 3 == 0)).collect();
+        let bytes = Bit::pack(&bits);
+        assert_eq!(bytes.len(), 3);
+        let back = Bit::unpack(&bytes, 19);
+        assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn pack_maps_unknown_to_zero() {
+        let bytes = Bit::pack(&[Bit::Unknown, Bit::One]);
+        assert_eq!(bytes, vec![0b10]);
+    }
+
+    #[test]
+    fn display_characters() {
+        assert_eq!(format!("{}{}{}", Bit::Zero, Bit::One, Bit::Unknown), "01?");
+    }
+}

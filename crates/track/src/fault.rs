@@ -1,0 +1,195 @@
+//! Pluggable shift fault models.
+//!
+//! A fault model answers one question: *what happened physically when a
+//! stripe was commanded to shift `d` steps?* Three implementations:
+//!
+//! * [`IdealFaultModel`] — every shift succeeds (functional modelling,
+//!   p-ECC layout tests);
+//! * [`CalibratedFaultModel`] — draws out-of-step errors from the
+//!   paper's Table 2 calibration ([`rtm_model::OutOfStepRates`]),
+//!   assuming STS so stop-in-middle never occurs;
+//! * [`ScriptedFaultModel`] — replays a fixed outcome sequence, for
+//!   deterministic tests of detection/correction logic.
+
+use rtm_model::rates::OutOfStepRates;
+use rtm_model::shift::ShiftOutcome;
+use rtm_util::rng::SmallRng64;
+
+/// Decides the physical outcome of each commanded shift.
+pub trait FaultModel {
+    /// Samples the outcome of a shift of `distance` steps
+    /// (`distance >= 1`; direction does not affect the error physics).
+    fn sample(&mut self, distance: u32) -> ShiftOutcome;
+}
+
+/// All shifts succeed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdealFaultModel;
+
+impl FaultModel for IdealFaultModel {
+    fn sample(&mut self, _distance: u32) -> ShiftOutcome {
+        ShiftOutcome::Pinned { offset: 0 }
+    }
+}
+
+/// Draws out-of-step errors at the calibrated Table 2 rates.
+///
+/// STS is assumed active, so every outcome is `Pinned`; the ± direction
+/// follows the calibration's over-shift fraction.
+#[derive(Debug, Clone)]
+pub struct CalibratedFaultModel {
+    rates: OutOfStepRates,
+    rng: SmallRng64,
+    injected: u64,
+    sampled: u64,
+}
+
+impl CalibratedFaultModel {
+    /// Creates a model over the given rate table.
+    pub fn new(rates: OutOfStepRates, seed: u64) -> Self {
+        Self {
+            rates,
+            rng: SmallRng64::new(seed),
+            injected: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Model with the paper's Table 2 rates.
+    pub fn paper(seed: u64) -> Self {
+        Self::new(OutOfStepRates::paper_calibration(), seed)
+    }
+
+    /// Number of faulty outcomes produced so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of outcomes sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+
+    /// The underlying rate table.
+    pub fn rates(&self) -> &OutOfStepRates {
+        &self.rates
+    }
+}
+
+impl FaultModel for CalibratedFaultModel {
+    fn sample(&mut self, distance: u32) -> ShiftOutcome {
+        self.sampled += 1;
+        let u = self.rng.next_f64();
+        // Walk the k ladder; k=1 dominates so this loop almost always
+        // exits on its first comparison.
+        let mut acc = 0.0;
+        for k in 1..=3u32 {
+            let rate = self.rates.rate(distance, k);
+            acc += rate;
+            if u < acc {
+                self.injected += 1;
+                let plus = self.rng.chance(self.rates.plus_fraction());
+                let signed = if plus { k as i32 } else { -(k as i32) };
+                return ShiftOutcome::Pinned { offset: signed };
+            }
+        }
+        ShiftOutcome::Pinned { offset: 0 }
+    }
+}
+
+/// Replays a scripted sequence of outcomes, then succeeds forever.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptedFaultModel {
+    script: std::collections::VecDeque<ShiftOutcome>,
+}
+
+impl ScriptedFaultModel {
+    /// Creates a model that replays `outcomes` in order.
+    pub fn new<I: IntoIterator<Item = ShiftOutcome>>(outcomes: I) -> Self {
+        Self {
+            script: outcomes.into_iter().collect(),
+        }
+    }
+
+    /// Remaining scripted outcomes.
+    pub fn remaining(&self) -> usize {
+        self.script.len()
+    }
+}
+
+impl FaultModel for ScriptedFaultModel {
+    fn sample(&mut self, _distance: u32) -> ShiftOutcome {
+        self.script
+            .pop_front()
+            .unwrap_or(ShiftOutcome::Pinned { offset: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_never_errs() {
+        let mut m = IdealFaultModel;
+        for d in 1..=7 {
+            assert!(m.sample(d).is_success());
+        }
+    }
+
+    #[test]
+    fn scripted_replays_then_succeeds() {
+        let mut m = ScriptedFaultModel::new([
+            ShiftOutcome::Pinned { offset: 1 },
+            ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 },
+        ]);
+        assert_eq!(m.remaining(), 2);
+        assert_eq!(m.sample(3), ShiftOutcome::Pinned { offset: 1 });
+        assert!(matches!(m.sample(3), ShiftOutcome::StopInMiddle { .. }));
+        assert!(m.sample(3).is_success());
+        assert_eq!(m.remaining(), 0);
+    }
+
+    #[test]
+    fn calibrated_rate_tracks_table() {
+        let mut m = CalibratedFaultModel::paper(77);
+        let trials = 2_000_000u64;
+        let mut errors = 0u64;
+        for _ in 0..trials {
+            if !m.sample(7).is_success() {
+                errors += 1;
+            }
+        }
+        let rate = errors as f64 / trials as f64;
+        let expect = OutOfStepRates::paper_calibration().any_error_rate(7);
+        assert!(
+            (rate / expect - 1.0).abs() < 0.25,
+            "rate {rate:.3e} vs expected {expect:.3e}"
+        );
+        assert_eq!(m.sampled(), trials);
+        assert_eq!(m.injected(), errors);
+    }
+
+    #[test]
+    fn calibrated_short_shifts_much_safer() {
+        let mut m = CalibratedFaultModel::paper(5);
+        let trials = 500_000;
+        let errs_1: u64 = (0..trials).filter(|_| !m.sample(1).is_success()).count() as u64;
+        let errs_7: u64 = (0..trials).filter(|_| !m.sample(7).is_success()).count() as u64;
+        assert!(errs_7 > errs_1 * 3, "1-step {errs_1} vs 7-step {errs_7}");
+    }
+
+    #[test]
+    fn calibrated_errors_are_mostly_positive() {
+        let mut m = CalibratedFaultModel::paper(9);
+        let (mut plus, mut minus) = (0u64, 0u64);
+        for _ in 0..3_000_000 {
+            match m.sample(7) {
+                ShiftOutcome::Pinned { offset } if offset > 0 => plus += 1,
+                ShiftOutcome::Pinned { offset } if offset < 0 => minus += 1,
+                _ => {}
+            }
+        }
+        assert!(plus > 5 * minus.max(1), "plus {plus} minus {minus}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Segment/port layout and head-position arithmetic.
+//!
+//! The convention used throughout the workspace (matching the paper's
+//! Fig. 2): data domains start at physical slot 0, the *overhead region*
+//! of `Lseg − 1` spare domains sits at the right end, and access port
+//! `p` is fixed over physical slot `(p + 1)·Lseg − 1` (the right edge of
+//! its segment). A cumulative right-shift `s` — the **head position** —
+//! then ranges over `[0, Lseg − 1]`:
+//!
+//! * at `s = 0` each port sees the *last* domain of its segment;
+//! * to read domain `p·Lseg + j` the head must move to
+//!   `s = Lseg − 1 − j`, so every in-range target is reachable with
+//!   right shifts only and data pushed right is caught by the overhead
+//!   region.
+
+use std::fmt;
+
+/// Errors constructing a stripe geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GeometryError {
+    /// `data_len` was zero.
+    EmptyData,
+    /// `num_ports` was zero.
+    NoPorts,
+    /// `data_len` is not divisible by `num_ports`.
+    UnevenSegments {
+        /// Requested data length.
+        data_len: usize,
+        /// Requested port count.
+        num_ports: usize,
+    },
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::EmptyData => write!(f, "stripe must hold at least one data domain"),
+            GeometryError::NoPorts => write!(f, "stripe needs at least one access port"),
+            GeometryError::UnevenSegments { data_len, num_ports } => write!(
+                f,
+                "data length {data_len} is not divisible by port count {num_ports}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// The segment/port layout of a data stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StripeGeometry {
+    data_len: usize,
+    num_ports: usize,
+}
+
+impl StripeGeometry {
+    /// Creates a geometry with `data_len` data domains served by
+    /// `num_ports` uniformly spaced read/write ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GeometryError`] if either count is zero or the data
+    /// length does not divide evenly into segments.
+    pub fn new(data_len: usize, num_ports: usize) -> Result<Self, GeometryError> {
+        if data_len == 0 {
+            return Err(GeometryError::EmptyData);
+        }
+        if num_ports == 0 {
+            return Err(GeometryError::NoPorts);
+        }
+        if !data_len.is_multiple_of(num_ports) {
+            return Err(GeometryError::UnevenSegments { data_len, num_ports });
+        }
+        Ok(Self { data_len, num_ports })
+    }
+
+    /// The paper's default stripe: 64 data domains, 8 ports (Lseg = 8).
+    pub fn paper_default() -> Self {
+        Self::new(64, 8).expect("64/8 is a valid geometry")
+    }
+
+    /// Number of data domains.
+    pub fn data_len(&self) -> usize {
+        self.data_len
+    }
+
+    /// Number of read/write access ports.
+    pub fn num_ports(&self) -> usize {
+        self.num_ports
+    }
+
+    /// Domains per segment (`Lseg`).
+    pub fn segment_len(&self) -> usize {
+        self.data_len / self.num_ports
+    }
+
+    /// Longest shift ever required: `Lseg − 1` steps.
+    pub fn max_shift(&self) -> usize {
+        self.segment_len() - 1
+    }
+
+    /// Size of the overhead region (spare domains at the right end)
+    /// needed so no data is lost at the maximum head position.
+    pub fn overhead_len(&self) -> usize {
+        self.max_shift()
+    }
+
+    /// Total physical slots of the bare stripe (data + overhead),
+    /// before any p-ECC additions.
+    pub fn total_len(&self) -> usize {
+        self.data_len + self.overhead_len()
+    }
+
+    /// Physical slot of port `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= num_ports`.
+    pub fn port_slot(&self, p: usize) -> usize {
+        assert!(p < self.num_ports, "port {p} out of range");
+        (p + 1) * self.segment_len() - 1
+    }
+
+    /// The port serving data domain `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= data_len`.
+    pub fn port_of_domain(&self, d: usize) -> usize {
+        assert!(d < self.data_len, "domain {d} out of range");
+        d / self.segment_len()
+    }
+
+    /// Head position (cumulative right shift) aligning domain `d` with
+    /// its port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= data_len`.
+    pub fn head_position_for(&self, d: usize) -> usize {
+        assert!(d < self.data_len, "domain {d} out of range");
+        self.segment_len() - 1 - (d % self.segment_len())
+    }
+
+    /// The signed shift needed to move the head from `from` to `to`
+    /// (positive = shift right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position exceeds [`StripeGeometry::max_shift`].
+    pub fn shift_between(&self, from: usize, to: usize) -> i64 {
+        assert!(from <= self.max_shift(), "head position {from} out of range");
+        assert!(to <= self.max_shift(), "head position {to} out of range");
+        to as i64 - from as i64
+    }
+
+    /// Physical slot of data domain `d` at head position `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` or `s` is out of range.
+    pub fn domain_slot(&self, d: usize, s: usize) -> usize {
+        assert!(d < self.data_len, "domain {d} out of range");
+        assert!(s <= self.max_shift(), "head position {s} out of range");
+        d + s
+    }
+}
+
+impl fmt::Display for StripeGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} domains x {} ports (Lseg = {})",
+            self.data_len,
+            self.num_ports,
+            self.segment_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_layout() {
+        let g = StripeGeometry::paper_default();
+        assert_eq!(g.data_len(), 64);
+        assert_eq!(g.num_ports(), 8);
+        assert_eq!(g.segment_len(), 8);
+        assert_eq!(g.max_shift(), 7);
+        assert_eq!(g.overhead_len(), 7);
+        assert_eq!(g.total_len(), 71);
+    }
+
+    #[test]
+    fn invalid_geometries_are_rejected() {
+        assert_eq!(StripeGeometry::new(0, 1), Err(GeometryError::EmptyData));
+        assert_eq!(StripeGeometry::new(8, 0), Err(GeometryError::NoPorts));
+        assert_eq!(
+            StripeGeometry::new(10, 3),
+            Err(GeometryError::UnevenSegments { data_len: 10, num_ports: 3 })
+        );
+    }
+
+    #[test]
+    fn port_slots_are_segment_right_edges() {
+        let g = StripeGeometry::new(16, 4).unwrap();
+        assert_eq!(g.port_slot(0), 3);
+        assert_eq!(g.port_slot(1), 7);
+        assert_eq!(g.port_slot(3), 15);
+    }
+
+    #[test]
+    fn every_domain_is_reachable_at_its_port() {
+        let g = StripeGeometry::paper_default();
+        for d in 0..g.data_len() {
+            let s = g.head_position_for(d);
+            assert!(s <= g.max_shift());
+            let port = g.port_of_domain(d);
+            assert_eq!(g.domain_slot(d, s), g.port_slot(port), "domain {d}");
+        }
+    }
+
+    #[test]
+    fn head_positions_cover_full_range() {
+        let g = StripeGeometry::paper_default();
+        // Domain 7 (last of segment 0) needs s = 0; domain 0 needs s = 7.
+        assert_eq!(g.head_position_for(7), 0);
+        assert_eq!(g.head_position_for(0), 7);
+    }
+
+    #[test]
+    fn shift_between_is_signed() {
+        let g = StripeGeometry::paper_default();
+        assert_eq!(g.shift_between(0, 7), 7);
+        assert_eq!(g.shift_between(7, 3), -4);
+        assert_eq!(g.shift_between(4, 4), 0);
+    }
+
+    #[test]
+    fn data_never_leaves_physical_stripe() {
+        let g = StripeGeometry::paper_default();
+        for s in 0..=g.max_shift() {
+            for d in 0..g.data_len() {
+                assert!(g.domain_slot(d, s) < g.total_len());
+            }
+        }
+    }
+
+    #[test]
+    fn single_port_geometry() {
+        let g = StripeGeometry::new(8, 1).unwrap();
+        assert_eq!(g.segment_len(), 8);
+        assert_eq!(g.port_slot(0), 7);
+        assert_eq!(g.head_position_for(0), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_port_panics() {
+        let g = StripeGeometry::paper_default();
+        let _ = g.port_slot(8);
+    }
+}

@@ -1,0 +1,270 @@
+//! Access-port device semantics — the physical layer of the paper's
+//! Fig. 2(a).
+//!
+//! A **read-only port** is a fixed reference domain stacked over the
+//! stripe: together with the domain currently under it, it forms an
+//! MTJ whose resistance encodes the stored bit (parallel = low = `0`,
+//! anti-parallel = high = `1`). A **read/write port** adds one more
+//! transistor and *two* reference domains with opposite pinned
+//! directions; a write selects the reference holding the desired value
+//! and shifts it into the data domain — the "shift-based write" of
+//! Section 2.1, which needs less current than an STT-style write.
+
+use crate::bit::Bit;
+use crate::stripe::{Stripe, StripeError};
+use std::fmt;
+
+/// Magnetisation direction of a pinned reference domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Magnetisation {
+    /// Reference direction (reads as parallel for a stored `0`).
+    Up,
+    /// Opposite direction.
+    Down,
+}
+
+/// MTJ resistance state sensed by a read port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resistance {
+    /// Parallel stack: low resistance, decoded as `0`.
+    Low,
+    /// Anti-parallel stack: high resistance, decoded as `1`.
+    High,
+    /// The junction straddles a domain wall (misaligned stripe) or an
+    /// unwritten domain: the sensed value is indeterminate.
+    Indeterminate,
+}
+
+impl Resistance {
+    /// Decodes the resistance into a bit.
+    pub fn decode(self) -> Bit {
+        match self {
+            Resistance::Low => Bit::Zero,
+            Resistance::High => Bit::One,
+            Resistance::Indeterminate => Bit::Unknown,
+        }
+    }
+}
+
+/// What kind of access stack sits at a port site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// One reference domain + one transistor: read only.
+    ReadOnly,
+    /// Two opposed reference domains + two transistors: read and
+    /// shift-based write.
+    ReadWrite,
+}
+
+/// A physical access port over a stripe slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessPort {
+    kind: PortKind,
+    slot: usize,
+}
+
+impl AccessPort {
+    /// Creates a read-only port over `slot`.
+    pub fn read_only(slot: usize) -> Self {
+        Self { kind: PortKind::ReadOnly, slot }
+    }
+
+    /// Creates a read/write port over `slot`.
+    pub fn read_write(slot: usize) -> Self {
+        Self { kind: PortKind::ReadWrite, slot }
+    }
+
+    /// The port kind.
+    pub fn kind(&self) -> PortKind {
+        self.kind
+    }
+
+    /// The stripe slot this port senses.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Number of access transistors in the stack (area accounting:
+    /// read/write ports are the expensive ones — see `rtm-cost`).
+    pub fn transistors(&self) -> u32 {
+        match self.kind {
+            PortKind::ReadOnly => 1,
+            PortKind::ReadWrite => 2,
+        }
+    }
+
+    /// Senses the MTJ resistance at this port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StripeError::SlotOutOfRange`].
+    pub fn sense(&self, stripe: &Stripe) -> Result<Resistance, StripeError> {
+        let bit = stripe.read_slot(self.slot)?;
+        Ok(match bit {
+            Bit::Zero => Resistance::Low,
+            Bit::One => Resistance::High,
+            Bit::Unknown => Resistance::Indeterminate,
+        })
+    }
+
+    /// Reads the decoded bit at this port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StripeError::SlotOutOfRange`].
+    pub fn read(&self, stripe: &Stripe) -> Result<Bit, StripeError> {
+        Ok(self.sense(stripe)?.decode())
+    }
+
+    /// Performs a shift-based write: selects the reference domain
+    /// matching `bit` and shifts its magnetisation into the data
+    /// domain. Counts as one local 1-step shift event for the energy
+    /// model (returned as [`WriteCost`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`StripeError::Misaligned`] while walls are mid-flat (the
+    ///   write current would program an unpredictable domain);
+    /// * [`StripeError::SlotOutOfRange`] for a bad slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a read-only port (programming error); use
+    /// [`AccessPort::try_write`] for a fallible variant.
+    pub fn write(&self, stripe: &mut Stripe, bit: Bit) -> Result<WriteCost, StripeError> {
+        assert_eq!(
+            self.kind,
+            PortKind::ReadWrite,
+            "write through a read-only port is a design error"
+        );
+        stripe.write_slot(self.slot, bit)?;
+        Ok(WriteCost {
+            local_shift_steps: 1,
+            reference: if bit == Bit::One {
+                Magnetisation::Down
+            } else {
+                Magnetisation::Up
+            },
+        })
+    }
+
+    /// Fallible write that reports unsupported ports instead of
+    /// panicking: returns `Ok(None)` for read-only ports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the same [`StripeError`] cases as
+    /// [`AccessPort::write`].
+    pub fn try_write(
+        &self,
+        stripe: &mut Stripe,
+        bit: Bit,
+    ) -> Result<Option<WriteCost>, StripeError> {
+        if self.kind != PortKind::ReadWrite {
+            return Ok(None);
+        }
+        self.write(stripe, bit).map(Some)
+    }
+}
+
+impl fmt::Display for AccessPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let k = match self.kind {
+            PortKind::ReadOnly => "R",
+            PortKind::ReadWrite => "R/W",
+        };
+        write!(f, "{k} port @ slot {}", self.slot)
+    }
+}
+
+/// Cost record of one shift-based write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteCost {
+    /// Local shift steps consumed (always 1 for a shift-based write;
+    /// an STT-style write would be 0 steps but a larger transistor).
+    pub local_shift_steps: u32,
+    /// Which reference domain supplied the value.
+    pub reference: Magnetisation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stripe_with(bits: &[Bit]) -> Stripe {
+        Stripe::with_cells(bits.to_vec())
+    }
+
+    #[test]
+    fn sense_decodes_all_states() {
+        let s = stripe_with(&[Bit::Zero, Bit::One, Bit::Unknown]);
+        assert_eq!(AccessPort::read_only(0).sense(&s).unwrap(), Resistance::Low);
+        assert_eq!(AccessPort::read_only(1).sense(&s).unwrap(), Resistance::High);
+        assert_eq!(
+            AccessPort::read_only(2).sense(&s).unwrap(),
+            Resistance::Indeterminate
+        );
+        assert_eq!(AccessPort::read_only(1).read(&s).unwrap(), Bit::One);
+    }
+
+    #[test]
+    fn misaligned_stripe_senses_indeterminate() {
+        let mut s = stripe_with(&[Bit::One; 4]);
+        s.apply_shift(
+            1,
+            rtm_model::shift::ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 },
+        );
+        let r = AccessPort::read_only(2).sense(&s).unwrap();
+        assert_eq!(r, Resistance::Indeterminate);
+    }
+
+    #[test]
+    fn shift_based_write_selects_reference() {
+        let mut s = stripe_with(&[Bit::Zero; 4]);
+        let port = AccessPort::read_write(2);
+        let cost = port.write(&mut s, Bit::One).unwrap();
+        assert_eq!(cost.local_shift_steps, 1);
+        assert_eq!(cost.reference, Magnetisation::Down);
+        assert_eq!(port.read(&s).unwrap(), Bit::One);
+        let cost = port.write(&mut s, Bit::Zero).unwrap();
+        assert_eq!(cost.reference, Magnetisation::Up);
+        assert_eq!(port.read(&s).unwrap(), Bit::Zero);
+    }
+
+    #[test]
+    fn read_only_port_cannot_write() {
+        let mut s = stripe_with(&[Bit::Zero; 2]);
+        let port = AccessPort::read_only(0);
+        assert_eq!(port.try_write(&mut s, Bit::One).unwrap(), None);
+        assert_eq!(s.read_slot(0).unwrap(), Bit::Zero, "data untouched");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = port.write(&mut s, Bit::One);
+        }));
+        assert!(r.is_err(), "direct write must panic");
+    }
+
+    #[test]
+    fn write_blocked_while_misaligned() {
+        let mut s = stripe_with(&[Bit::Zero; 4]);
+        s.apply_shift(
+            1,
+            rtm_model::shift::ShiftOutcome::StopInMiddle { lower: 0, frac: 0.3 },
+        );
+        let port = AccessPort::read_write(1);
+        assert_eq!(
+            port.write(&mut s, Bit::One),
+            Err(StripeError::Misaligned)
+        );
+    }
+
+    #[test]
+    fn transistor_budget() {
+        assert_eq!(AccessPort::read_only(0).transistors(), 1);
+        assert_eq!(AccessPort::read_write(0).transistors(), 2);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(AccessPort::read_write(5).to_string(), "R/W port @ slot 5");
+    }
+}

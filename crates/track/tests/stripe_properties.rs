@@ -1,0 +1,82 @@
+//! Property tests for physical stripe movement.
+
+use proptest::prelude::*;
+use rtm_model::shift::ShiftOutcome;
+use rtm_track::bit::Bit;
+use rtm_track::stripe::Stripe;
+
+proptest! {
+    /// Movement composition: applying moves m1 then m2 leaves any cell
+    /// that never left the wire equal to its original neighbour at
+    /// offset m1 + m2.
+    #[test]
+    fn movement_composes(
+        data in proptest::collection::vec(any::<bool>(), 16..48),
+        m1 in -5i64..=5,
+        m2 in -5i64..=5,
+    ) {
+        let bits: Vec<Bit> = data.iter().copied().map(Bit::from).collect();
+        let mut s = Stripe::with_cells(bits.clone());
+        if m1 != 0 { s.apply_movement(m1, true); }
+        if m2 != 0 { s.apply_movement(m2, true); }
+        let net = m1 + m2;
+        let len = bits.len() as i64;
+        for (i, &orig) in bits.iter().enumerate() {
+            let dest = i as i64 + net;
+            if dest < 0 || dest >= len {
+                continue; // fell off the wire at the end state
+            }
+            // The cell also must not have left the wire at the
+            // intermediate state.
+            let mid = i as i64 + m1;
+            if mid < 0 || mid >= len {
+                continue;
+            }
+            prop_assert_eq!(s.cells()[dest as usize], orig, "cell {}", i);
+        }
+        prop_assert_eq!(s.actual_offset(), net);
+    }
+
+    /// Cells that fall off either end are replaced by Unknown and never
+    /// resurrect.
+    #[test]
+    fn fallen_cells_stay_unknown(shift in 1i64..8) {
+        let bits: Vec<Bit> = (0..16).map(|i| Bit::from(i % 2 == 0)).collect();
+        let mut s = Stripe::with_cells(bits);
+        s.apply_movement(shift, true);
+        s.apply_movement(-shift, true);
+        // The rightmost `shift` cells crossed the right edge and are gone.
+        let len = s.len();
+        for i in (len - shift as usize)..len {
+            prop_assert_eq!(s.cells()[i], Bit::Unknown, "slot {}", i);
+        }
+    }
+
+    /// apply_shift with a Pinned outcome always realigns; with a
+    /// StopInMiddle outcome always misaligns; realign() restores.
+    #[test]
+    fn alignment_tracking(intended in prop_oneof![(-7i64..=-1), (1i64..=7)], offset in -2i32..=2) {
+        let mut s = Stripe::new(32);
+        s.apply_shift(intended, ShiftOutcome::Pinned { offset });
+        prop_assert!(s.is_aligned());
+        s.apply_shift(intended, ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 });
+        prop_assert!(!s.is_aligned());
+        prop_assert_eq!(s.read_slot(10).unwrap(), Bit::Unknown);
+        s.realign();
+        prop_assert!(s.is_aligned());
+    }
+
+    /// The realised movement of apply_shift matches intended plus the
+    /// direction-adjusted offset.
+    #[test]
+    fn realised_movement_formula(
+        intended in prop_oneof![(-7i64..=-1), (1i64..=7)],
+        offset in -2i32..=2,
+    ) {
+        let mut s = Stripe::new(64);
+        let before = s.actual_offset();
+        let moved = s.apply_shift(intended, ShiftOutcome::Pinned { offset });
+        prop_assert_eq!(moved, intended + intended.signum() * offset as i64);
+        prop_assert_eq!(s.actual_offset() - before, moved);
+    }
+}

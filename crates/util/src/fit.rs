@@ -1,0 +1,264 @@
+//! Least-squares fitting helpers.
+//!
+//! The paper runs a 10⁹-sample Monte-Carlo over its domain-wall model and
+//! then fits the resulting distribution to reach probabilities far below
+//! what sampling can observe (Fig. 4 plots densities down to 10⁻²⁵).
+//! `rtm-model` does the same with the tools in this module: a plain linear
+//! least-squares fit, a polynomial fit for log-rate curves, and a Gaussian
+//! fit for the central lobe of the displacement distribution.
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Evaluates the fitted line at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Ordinary least squares on paired samples.
+///
+/// Returns `None` when fewer than two points are supplied or when all `x`
+/// are identical (the slope is then undefined).
+pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+    if points.len() < 2 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let mx = sx / n;
+    let my = sy / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - my) * (p.1 - my)).sum();
+    let ss_res: f64 = points
+        .iter()
+        .map(|p| {
+            let e = p.1 - (slope * p.0 + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    Some(LinearFit { slope, intercept, r_squared })
+}
+
+/// A fitted quadratic `y ≈ c0 + c1·x + c2·x²`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuadraticFit {
+    /// Coefficients `[c0, c1, c2]`.
+    pub coeffs: [f64; 3],
+}
+
+impl QuadraticFit {
+    /// Evaluates the fitted polynomial at `x`.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs[0] + self.coeffs[1] * x + self.coeffs[2] * x * x
+    }
+}
+
+/// Least-squares quadratic fit via the 3×3 normal equations.
+///
+/// Returns `None` with fewer than three points or a singular system
+/// (e.g. all `x` identical).
+pub fn quadratic_fit(points: &[(f64, f64)]) -> Option<QuadraticFit> {
+    if points.len() < 3 {
+        return None;
+    }
+    // Normal equations: A^T A c = A^T y with A = [1, x, x^2].
+    let mut s = [0.0f64; 5]; // sums of x^0 .. x^4
+    let mut t = [0.0f64; 3]; // sums of y * x^0 .. x^2
+    for &(x, y) in points {
+        let mut xp = 1.0;
+        for k in 0..5 {
+            s[k] += xp;
+            if k < 3 {
+                t[k] += y * xp;
+            }
+            xp *= x;
+        }
+    }
+    let m = [
+        [s[0], s[1], s[2]],
+        [s[1], s[2], s[3]],
+        [s[2], s[3], s[4]],
+    ];
+    solve3(m, t).map(|coeffs| QuadraticFit { coeffs })
+}
+
+/// Solves a 3×3 linear system with partial pivoting. Returns `None` when
+/// the matrix is (numerically) singular.
+fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
+    for col in 0..3 {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..3 {
+            if a[row][col].abs() > a[piv][col].abs() {
+                piv = row;
+            }
+        }
+        if a[piv][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, piv);
+        b.swap(col, piv);
+        // Eliminate.
+        for row in col + 1..3 {
+            let f = a[row][col] / a[col][col];
+            let (pivot_rows, elim_rows) = a.split_at_mut(row);
+            for (x, &p) in elim_rows[0][col..].iter_mut().zip(&pivot_rows[col][col..]) {
+                *x -= f * p;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0f64; 3];
+    for col in (0..3).rev() {
+        let mut acc = b[col];
+        for k in col + 1..3 {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// A Gaussian `N(mu, sigma²)` fitted to samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaussianFit {
+    /// Fitted mean.
+    pub mu: f64,
+    /// Fitted standard deviation.
+    pub sigma: f64,
+}
+
+impl GaussianFit {
+    /// Density of the fitted Gaussian at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        crate::math::normal_pdf(z) / self.sigma
+    }
+
+    /// Natural log of the upper-tail probability `P(X > x)`, stable deep
+    /// into the tail — this is how Monte-Carlo PDFs get extrapolated to
+    /// the 10⁻²⁰ regime.
+    pub fn ln_sf(&self, x: f64) -> f64 {
+        crate::math::ln_normal_sf((x - self.mu) / self.sigma)
+    }
+
+    /// Upper-tail probability `P(X > x)` in linear space (may underflow to
+    /// zero for extreme tails; use [`GaussianFit::ln_sf`] there).
+    pub fn sf(&self, x: f64) -> f64 {
+        self.ln_sf(x).exp()
+    }
+
+    /// Lower-tail probability `P(X < x)` in log space.
+    pub fn ln_cdf_lower(&self, x: f64) -> f64 {
+        // P(X < x) = P(Z > (mu - x)/sigma) by symmetry.
+        crate::math::ln_normal_sf((self.mu - x) / self.sigma)
+    }
+}
+
+/// Fits a Gaussian to samples by method of moments.
+///
+/// Returns `None` for fewer than two samples or zero variance.
+pub fn gaussian_fit(samples: &[f64]) -> Option<GaussianFit> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let stats: crate::stats::OnlineStats = samples.iter().copied().collect();
+    let sigma = stats.std_dev();
+    if sigma <= 0.0 {
+        return None;
+    }
+    Some(GaussianFit { mu: stats.mean(), sigma })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 1.0)).collect();
+        let fit = linear_fit(&pts).expect("fit");
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.eval(100.0) - 299.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_inputs() {
+        assert!(linear_fit(&[]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0)]).is_none());
+        assert!(linear_fit(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn quadratic_fit_exact_parabola() {
+        let pts: Vec<(f64, f64)> = (-5..=5)
+            .map(|i| {
+                let x = i as f64;
+                (x, 2.0 - x + 0.5 * x * x)
+            })
+            .collect();
+        let fit = quadratic_fit(&pts).expect("fit");
+        assert!((fit.coeffs[0] - 2.0).abs() < 1e-9);
+        assert!((fit.coeffs[1] + 1.0).abs() < 1e-9);
+        assert!((fit.coeffs[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_fit_degenerate() {
+        assert!(quadratic_fit(&[(0.0, 0.0), (1.0, 1.0)]).is_none());
+        let same_x = [(2.0, 0.0), (2.0, 1.0), (2.0, 2.0), (2.0, 5.0)];
+        assert!(quadratic_fit(&same_x).is_none());
+    }
+
+    #[test]
+    fn gaussian_fit_recovers_moments() {
+        // Deterministic "samples": a symmetric grid has exactly mean 0.
+        let samples: Vec<f64> = (-100..=100).map(|i| i as f64 / 10.0).collect();
+        let fit = gaussian_fit(&samples).expect("fit");
+        assert!(fit.mu.abs() < 1e-12);
+        assert!(fit.sigma > 5.0 && fit.sigma < 6.0);
+    }
+
+    #[test]
+    fn gaussian_tail_consistency() {
+        let g = GaussianFit { mu: 0.0, sigma: 1.0 };
+        // sf at mu is 0.5.
+        assert!((g.sf(0.0) - 0.5).abs() < 1e-12);
+        // ln_sf matches linear sf in a moderate range.
+        let lin = g.sf(3.0);
+        assert!((lin - crate::math::normal_sf(3.0)).abs() < 1e-15);
+        // Deep tail stays finite in log space.
+        assert!(g.ln_sf(40.0).is_finite());
+        assert!(g.ln_sf(40.0) < -700.0);
+        // Symmetry between lower and upper tails.
+        assert!((g.ln_cdf_lower(-3.0) - g.ln_sf(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_fit_degenerate() {
+        assert!(gaussian_fit(&[1.0]).is_none());
+        assert!(gaussian_fit(&[2.0, 2.0, 2.0]).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! Math, statistics, units and RNG substrate shared by the `hifi-rtm`
+//! workspace.
+//!
+//! This crate carries no racetrack-memory semantics of its own; it provides
+//! the numerical plumbing the rest of the reproduction is built on:
+//!
+//! * [`units`] — strongly-typed physical quantities ([`units::Seconds`],
+//!   [`units::Picojoules`], [`units::SquareF`], …) so latency, energy and
+//!   area never mix silently;
+//! * [`math`] — special functions (`erfc`, Gaussian tail probabilities in
+//!   linear and log space) needed by the position-error model;
+//! * [`stats`] — online moments, histograms and summary statistics for
+//!   Monte-Carlo output;
+//! * [`fit`] — least-squares helpers used to extrapolate Monte-Carlo tails
+//!   the same way the paper fits its 10⁹-sample distribution;
+//! * [`rng`] — deterministic seeding utilities so every experiment is
+//!   reproducible bit-for-bit.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtm_util::units::Seconds;
+//! use rtm_util::math::normal_sf;
+//!
+//! let mttf = Seconds::from_years(10.0);
+//! assert!(mttf.as_secs() > 3.0e8);
+//! // One-sided Gaussian tail beyond 4 sigma:
+//! assert!(normal_sf(4.0) < 4.0e-5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod math;
+pub mod rng;
+pub mod stats;
+pub mod units;

@@ -1,0 +1,376 @@
+//! Special functions for the position-error model.
+//!
+//! The out-of-step probabilities in the paper span more than twenty orders
+//! of magnitude (Table 2 quotes rates down to 10⁻²¹), so everything here is
+//! available both in linear space and in natural-log space. The log-space
+//! variants stay accurate far beyond where `f64` linear probabilities
+//! underflow.
+
+/// The error function `erf(x)`, accurate to ~1e-13 over the real line.
+///
+/// Implementation: for `|x| < 2.5` a Maclaurin series; otherwise computed
+/// from [`erfc`]'s continued fraction to avoid cancellation.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax < 2.5 {
+        // erf(x) = 2/sqrt(pi) * sum_{n>=0} (-1)^n x^(2n+1) / (n! (2n+1))
+        let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        let mut n = 1u32;
+        loop {
+            term *= -x2 / n as f64;
+            let contrib = term / (2 * n + 1) as f64;
+            sum += contrib;
+            if contrib.abs() < 1e-18 * sum.abs().max(1e-300) || n > 120 {
+                break;
+            }
+            n += 1;
+        }
+        two_over_sqrt_pi * sum
+    } else {
+        let e = 1.0 - erfc(ax);
+        if x < 0.0 {
+            -e
+        } else {
+            e
+        }
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// For large positive `x` this stays accurate in absolute *and* relative
+/// terms (down to the `f64` underflow threshold near `erfc(26.5)`); use
+/// [`ln_erfc`] beyond that.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 2.5 {
+        return 1.0 - erf(x);
+    }
+    // Continued fraction (Lentz):
+    // erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + 1/2/(x + 1/(x + 3/2/(x + ...))))
+    let cf = erfc_cf(x);
+    (-x * x).exp() / std::f64::consts::PI.sqrt() * cf
+}
+
+/// Evaluates the continued-fraction factor of `erfc` (everything except the
+/// `exp(-x²)/√π` prefactor) for `x >= 0.5`.
+fn erfc_cf(x: f64) -> f64 {
+    // Modified Lentz's method for
+    //   K = 1/(x+) (1/2)/(x+) (1)/(x+) (3/2)/(x+) ...
+    let tiny = 1e-300;
+    let mut f = tiny;
+    let mut c = f;
+    let mut d = 0.0;
+    let mut a;
+    let mut b = x;
+    // First step with a0 = 1.
+    a = 1.0;
+    d = b + a * d;
+    if d.abs() < tiny {
+        d = tiny;
+    }
+    c = b + a / c;
+    if c.abs() < tiny {
+        c = tiny;
+    }
+    d = 1.0 / d;
+    f *= c * d;
+    let mut n = 1u32;
+    loop {
+        a = n as f64 / 2.0;
+        b = x;
+        d = b + a * d;
+        if d.abs() < tiny {
+            d = tiny;
+        }
+        c = b + a / c;
+        if c.abs() < tiny {
+            c = tiny;
+        }
+        d = 1.0 / d;
+        let delta = c * d;
+        f *= delta;
+        if (delta - 1.0).abs() < 1e-16 || n > 300 {
+            break;
+        }
+        n += 1;
+    }
+    f
+}
+
+/// Natural log of `erfc(x)` for `x >= 0`, accurate deep into the tail where
+/// `erfc` itself underflows (e.g. `ln_erfc(30.0) ≈ -905`).
+///
+/// # Panics
+///
+/// Panics if `x < 0` (the log-space variant is only needed for tails).
+pub fn ln_erfc(x: f64) -> f64 {
+    assert!(x >= 0.0, "ln_erfc requires x >= 0, got {x}");
+    if x < 20.0 {
+        let v = erfc(x);
+        if v > 0.0 {
+            return v.ln();
+        }
+    }
+    // ln erfc(x) = -x^2 - ln(sqrt(pi)) + ln(cf(x))
+    -x * x - std::f64::consts::PI.sqrt().ln() + erfc_cf(x).ln()
+}
+
+/// Standard normal probability density function.
+#[inline]
+pub fn normal_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal survival function `Q(x) = P(Z > x)`.
+#[inline]
+pub fn normal_sf(x: f64) -> f64 {
+    0.5 * erfc(x / std::f64::consts::SQRT_2)
+}
+
+/// Natural log of the standard normal survival function, valid arbitrarily
+/// deep into the upper tail.
+///
+/// For `x < 0` this is computed in linear space (the probability is ≥ 0.5,
+/// so there is no underflow concern).
+pub fn ln_normal_sf(x: f64) -> f64 {
+    if x < 0.0 {
+        normal_sf(x).ln()
+    } else {
+        (0.5f64).ln() + ln_erfc(x / std::f64::consts::SQRT_2)
+    }
+}
+
+/// Inverse of the standard normal CDF (quantile function), via the
+/// Acklam-style rational approximation polished with one Halley step.
+///
+/// Accurate to ~1e-13 for `p ∈ (1e-300, 1 - 1e-16)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1)`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    // Rational approximation coefficients (central + tail regions).
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement against the accurate CDF.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Numerically stable `ln(exp(a) + exp(b))`.
+#[inline]
+pub fn log_add_exp(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Numerically stable `ln(sum_i exp(x_i))` over a slice.
+///
+/// Returns `-inf` for an empty slice.
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Probability that at least one of `n` independent trials with per-trial
+/// probability `p` fails, computed stably for tiny `p`:
+/// `1 - (1-p)^n = -expm1(n * ln(1-p))`.
+pub fn any_of_n(p: f64, n: f64) -> f64 {
+    if p <= 0.0 || n <= 0.0 {
+        return 0.0;
+    }
+    if p >= 1.0 {
+        return 1.0;
+    }
+    -(n * (-p).ln_1p()).exp_m1()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778130465),
+            (1.0, 0.8427007929497149),
+            (2.0, 0.9953222650189527),
+            (-1.0, -0.8427007929497149),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 1e-12, "erf({x})");
+        }
+    }
+
+    #[test]
+    fn erfc_reference_values() {
+        let cases = [
+            (1.0, 0.15729920705028513),
+            (2.0, 0.004677734981063127),
+            (3.0, 2.2090496998585445e-05),
+            (5.0, 1.5374597944280351e-12),
+            (-1.0, 1.8427007929497148),
+        ];
+        for (x, want) in cases {
+            let got = erfc(x);
+            assert!(
+                (got - want).abs() / want.abs().max(1e-300) < 1e-10,
+                "erfc({x}) = {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for i in 0..200 {
+            let x = -5.0 + i as f64 * 0.05;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn ln_erfc_matches_linear_in_moderate_range() {
+        for i in 1..100 {
+            let x = i as f64 * 0.1;
+            let lin = erfc(x).ln();
+            let log = ln_erfc(x);
+            assert!((lin - log).abs() < 1e-9, "x = {x}: {lin} vs {log}");
+        }
+    }
+
+    #[test]
+    fn ln_erfc_deep_tail_is_finite_and_monotone() {
+        let mut prev = ln_erfc(20.0);
+        for i in 21..200 {
+            let v = ln_erfc(i as f64);
+            assert!(v.is_finite());
+            assert!(v < prev, "ln_erfc must decrease");
+            prev = v;
+        }
+        // Leading-order check: ln erfc(x) ≈ -x² - ln(x √π) for large x.
+        let x = 50.0f64;
+        let approx = -x * x - (x * std::f64::consts::PI.sqrt()).ln();
+        assert!((ln_erfc(x) - approx).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_sf_anchors() {
+        assert!((normal_sf(0.0) - 0.5).abs() < 1e-14);
+        // Q(1.96) ≈ 0.025
+        assert!((normal_sf(1.959963984540054) - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_sf() {
+        for &p in &[1e-12, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-9] {
+            let x = normal_quantile(p);
+            let back = 1.0 - normal_sf(x);
+            assert!((back - p).abs() < 1e-9 * p.max(1e-3), "p = {p}, x = {x}, back = {back}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_rejects_out_of_range() {
+        normal_quantile(1.5);
+    }
+
+    #[test]
+    fn log_sum_exp_basics() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        let v = log_sum_exp(&[0.0, 0.0]);
+        assert!((v - std::f64::consts::LN_2).abs() < 1e-14);
+        // Dominance: a huge term swamps a tiny one.
+        let v = log_sum_exp(&[-1000.0, 0.0]);
+        assert!((v - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_add_exp_matches_sum() {
+        let v = log_add_exp((0.3f64).ln(), (0.4f64).ln());
+        assert!((v.exp() - 0.7).abs() < 1e-12);
+        assert_eq!(log_add_exp(f64::NEG_INFINITY, -1.0), -1.0);
+    }
+
+    #[test]
+    fn any_of_n_limits() {
+        assert_eq!(any_of_n(0.0, 100.0), 0.0);
+        assert_eq!(any_of_n(1.0, 2.0), 1.0);
+        // Small p: ≈ n*p.
+        let p = 1e-12;
+        let v = any_of_n(p, 1000.0);
+        assert!((v - 1e-9).abs() / 1e-9 < 1e-6);
+        // Large n saturates to 1.
+        assert!((any_of_n(0.01, 1e6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,425 @@
+//! Online statistics and histograms for Monte-Carlo output.
+
+use std::fmt;
+
+/// Single-pass (Welford) accumulator for mean/variance/min/max.
+///
+/// # Examples
+///
+/// ```
+/// use rtm_util::stats::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 if fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Self::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A fixed-range linear-bin histogram with explicit underflow/overflow
+/// buckets — used to build the Fig. 4 position-error PDFs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of recorded observations, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's upper edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Probability density estimate for bin `i` (count / total / width).
+    /// Returns 0 if the histogram is empty.
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.bins[i] as f64 / self.total as f64 / self.bin_width()
+        }
+    }
+
+    /// Fraction of all observations falling in `[a, b)`, counting whole
+    /// bins whose centers lie in the interval.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let mut c = 0u64;
+        for i in 0..self.bins.len() {
+            let center = self.bin_center(i);
+            if center >= a && center < b {
+                c += self.bins[i];
+            }
+        }
+        c as f64 / self.total as f64
+    }
+
+    /// Iterates over `(bin_center, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_center(i), self.bins[i]))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "histogram [{}, {}) x{} (n={}, under={}, over={})",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            self.total,
+            self.underflow,
+            self.overflow
+        )?;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (center, count) in self.iter() {
+            let bar = "#".repeat((count * 40 / max) as usize);
+            writeln!(f, "{center:>12.4} | {count:>10} {bar}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Wilson score confidence interval for a binomial proportion —
+/// the error bars on Monte-Carlo event-rate estimates.
+///
+/// Returns `(lo, hi)` bounds for the true rate given `successes` out of
+/// `trials` at confidence `z` standard deviations (1.96 ≈ 95 %).
+/// Unlike the naive normal interval, Wilson stays inside `[0, 1]` and
+/// behaves sanely at zero observed events (the upper bound reflects the
+/// sampling floor rather than collapsing to zero).
+///
+/// # Panics
+///
+/// Panics if `trials == 0`, `successes > trials`, or `z <= 0`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!(successes <= trials, "successes cannot exceed trials");
+    assert!(z > 0.0, "z must be positive");
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Computes the sample quantile of `xs` (linear interpolation between
+/// order statistics), `q ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is out of `[0, 1]`.
+pub fn quantile(xs: &mut [f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "q must be in [0,1]");
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (xs.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        xs[lo]
+    } else {
+        let frac = pos - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_moments() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic data set is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin()).collect();
+        let full: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-12);
+        assert!((a.variance() - full.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn histogram_bins_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [-1.0, 0.0, 0.5, 5.0, 9.99, 10.0, 42.0] {
+            h.record(x);
+        }
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(0), 2); // 0.0 and 0.5
+        assert_eq!(h.count(5), 1); // 5.0
+        assert_eq!(h.count(9), 1); // 9.99
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_in_range_mass() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for i in 0..100 {
+            h.record(i as f64 / 100.0);
+        }
+        let integral: f64 = (0..h.num_bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_mass_between() {
+        let mut h = Histogram::new(-2.0, 2.0, 4);
+        for x in [-1.5, -0.5, 0.5, 0.5, 1.5] {
+            h.record(x);
+        }
+        assert!((h.mass_between(0.0, 2.0) - 3.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let mut xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&mut xs, 0.0), 1.0);
+        assert_eq!(quantile(&mut xs, 1.0), 4.0);
+        assert!((quantile(&mut xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn quantile_empty_panics() {
+        quantile(&mut [], 0.5);
+    }
+
+    #[test]
+    fn wilson_interval_contains_point_estimate() {
+        let (lo, hi) = wilson_interval(50, 1000, 1.96);
+        let p = 0.05;
+        assert!(lo < p && p < hi, "[{lo}, {hi}]");
+        assert!(hi - lo < 0.03, "95% CI width {}", hi - lo);
+    }
+
+    #[test]
+    fn wilson_interval_handles_zero_events() {
+        let (lo, hi) = wilson_interval(0, 10_000, 1.96);
+        assert_eq!(lo, 0.0);
+        // Rule-of-three scale: upper bound near 3.8/n for Wilson.
+        assert!(hi > 1e-4 && hi < 1e-3, "hi {hi}");
+    }
+
+    #[test]
+    fn wilson_interval_handles_all_events() {
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(hi > 1.0 - 1e-9, "hi {hi}");
+        assert!(lo > 0.9);
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_trials() {
+        let (lo1, hi1) = wilson_interval(10, 100, 1.96);
+        let (lo2, hi2) = wilson_interval(1000, 10_000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wilson_zero_trials_panics() {
+        let _ = wilson_interval(0, 0, 1.96);
+    }
+}

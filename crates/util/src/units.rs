@@ -1,0 +1,411 @@
+//! Strongly-typed physical quantities.
+//!
+//! The evaluation mixes quantities measured in wildly different scales —
+//! nanosecond pulses, multi-year MTTFs, picojoule shift energies and
+//! feature-size-squared areas. Newtypes keep those apart at compile time
+//! while staying `Copy` and cheap.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of seconds in a (Julian) year, used for MTTF reporting.
+pub const SECONDS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0;
+
+/// FIT count equivalent to a 10-year MTTF (from Mukherjee et al., used by
+/// the paper as the reliability yardstick: 11,415 FIT ⇔ 10-year MTTF).
+pub const FIT_PER_TEN_YEAR_MTTF: f64 = 11_415.0;
+
+macro_rules! scalar_unit {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Zero of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw scalar value in the unit named by the type.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// True if the value is finite (not NaN or infinite).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", self.0, $unit)
+            }
+        }
+    };
+}
+
+scalar_unit!(
+    /// A duration in seconds.
+    ///
+    /// Use the conversion constructors for other scales; MTTFs in the paper
+    /// span from microseconds (unprotected) to centuries (p-ECC-S).
+    Seconds,
+    "s"
+);
+
+impl Seconds {
+    /// Builds a duration from nanoseconds.
+    #[inline]
+    pub fn from_nanos(ns: f64) -> Self {
+        Self(ns * 1e-9)
+    }
+
+    /// Builds a duration from microseconds.
+    #[inline]
+    pub fn from_micros(us: f64) -> Self {
+        Self(us * 1e-6)
+    }
+
+    /// Builds a duration from years.
+    #[inline]
+    pub fn from_years(years: f64) -> Self {
+        Self(years * SECONDS_PER_YEAR)
+    }
+
+    /// The duration in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in nanoseconds.
+    #[inline]
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// The duration in years.
+    #[inline]
+    pub fn as_years(self) -> f64 {
+        self.0 / SECONDS_PER_YEAR
+    }
+}
+
+scalar_unit!(
+    /// An energy in picojoules — the natural scale for per-access cache
+    /// energies (Table 4 of the paper lists them in nanojoules; shifts and
+    /// p-ECC checks are picojoule-scale).
+    Picojoules,
+    "pJ"
+);
+
+impl Picojoules {
+    /// Builds an energy from nanojoules.
+    #[inline]
+    pub fn from_nanojoules(nj: f64) -> Self {
+        Self(nj * 1e3)
+    }
+
+    /// The energy in nanojoules.
+    #[inline]
+    pub fn as_nanojoules(self) -> f64 {
+        self.0 * 1e-3
+    }
+
+    /// The energy in millijoules.
+    #[inline]
+    pub fn as_millijoules(self) -> f64 {
+        self.0 * 1e-9
+    }
+}
+
+scalar_unit!(
+    /// A power in milliwatts (leakage numbers in Table 4).
+    Milliwatts,
+    "mW"
+);
+
+impl Milliwatts {
+    /// Energy dissipated over `t` at this power.
+    #[inline]
+    pub fn energy_over(self, t: Seconds) -> Picojoules {
+        // mW * s = mJ = 1e9 pJ
+        Picojoules(self.0 * t.0 * 1e9)
+    }
+}
+
+scalar_unit!(
+    /// A silicon area expressed in units of F² (feature size squared),
+    /// the technology-independent unit Fig. 7 / Fig. 13 use for
+    /// area-per-bit comparisons.
+    SquareF,
+    "F^2"
+);
+
+scalar_unit!(
+    /// Failure rate in FIT (failures per 10⁹ device-hours).
+    Fit,
+    "FIT"
+);
+
+impl Fit {
+    /// Converts a failure rate to the equivalent mean time to failure.
+    ///
+    /// Returns an infinite MTTF for a zero failure rate.
+    #[inline]
+    pub fn to_mttf(self) -> Seconds {
+        if self.0 <= 0.0 {
+            Seconds(f64::INFINITY)
+        } else {
+            Seconds(1e9 * 3600.0 / self.0)
+        }
+    }
+
+    /// Converts an MTTF to a FIT rate (inverse of [`Fit::to_mttf`]).
+    #[inline]
+    pub fn from_mttf(mttf: Seconds) -> Self {
+        if mttf.0 <= 0.0 {
+            Self(f64::INFINITY)
+        } else {
+            Self(1e9 * 3600.0 / mttf.0)
+        }
+    }
+}
+
+/// A discrete latency in controller clock cycles.
+///
+/// The paper's shift controller runs at 2 GHz; [`Cycles::to_seconds`]
+/// performs that conversion explicitly so no code ever multiplies by an
+/// implicit clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Self = Self(0);
+
+    /// The raw cycle count.
+    #[inline]
+    pub fn count(self) -> u64 {
+        self.0
+    }
+
+    /// Converts to wall-clock time under clock frequency `hz`.
+    #[inline]
+    pub fn to_seconds(self, hz: f64) -> Seconds {
+        Seconds(self.0 as f64 / hz)
+    }
+
+    /// Saturating subtraction, used when comparing interval counters.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for Cycles {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+/// Formats an MTTF the way the paper narrates it ("1.33µs", "69 years").
+///
+/// # Examples
+///
+/// ```
+/// use rtm_util::units::{format_mttf, Seconds};
+/// assert_eq!(format_mttf(Seconds::from_micros(1.33)), "1.33e0 µs");
+/// assert!(format_mttf(Seconds::from_years(69.0)).contains("years"));
+/// ```
+pub fn format_mttf(mttf: Seconds) -> String {
+    let s = mttf.as_secs();
+    if !s.is_finite() {
+        "∞".to_owned()
+    } else if s < 1e-3 {
+        format!("{:.2e} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2e} ms", s * 1e3)
+    } else if s < 3600.0 {
+        format!("{:.3} s", s)
+    } else if s < SECONDS_PER_YEAR {
+        format!("{:.2} hours", s / 3600.0)
+    } else {
+        format!("{:.1} years", s / SECONDS_PER_YEAR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversions_round_trip() {
+        let t = Seconds::from_nanos(1.5);
+        assert!((t.as_nanos() - 1.5).abs() < 1e-12);
+        let y = Seconds::from_years(10.0);
+        assert!((y.as_years() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_mttf_equivalence_matches_paper_anchor() {
+        // 11,415 FIT should be a 10-year MTTF (to within rounding of the
+        // published constant).
+        let mttf = Fit(FIT_PER_TEN_YEAR_MTTF).to_mttf();
+        let years = mttf.as_years();
+        assert!((years - 10.0).abs() < 0.05, "got {years} years");
+    }
+
+    #[test]
+    fn fit_round_trip() {
+        let fit = Fit(123.0);
+        let back = Fit::from_mttf(fit.to_mttf());
+        assert!((back.0 - 123.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_fit_is_infinite_mttf() {
+        assert!(!Fit(0.0).to_mttf().as_secs().is_finite());
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_2ghz() {
+        let t = Cycles(8).to_seconds(2.0e9);
+        assert!((t.as_nanos() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn milliwatt_energy_integration() {
+        // 1 mW for 1 s = 1 mJ = 1e9 pJ.
+        let e = Milliwatts(1.0).energy_over(Seconds(1.0));
+        assert!((e.value() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn unit_arithmetic() {
+        let a = Picojoules(2.0) + Picojoules(3.0);
+        assert_eq!(a, Picojoules(5.0));
+        assert_eq!(a * 2.0, Picojoules(10.0));
+        assert!((Picojoules(10.0) / Picojoules(4.0) - 2.5).abs() < 1e-12);
+        let sum: Picojoules = [Picojoules(1.0), Picojoules(2.0)].into_iter().sum();
+        assert_eq!(sum, Picojoules(3.0));
+    }
+
+    #[test]
+    fn format_mttf_scales() {
+        assert!(format_mttf(Seconds::from_micros(1.33)).contains("µs"));
+        assert!(format_mttf(Seconds(20e-3)).contains("ms"));
+        assert!(format_mttf(Seconds(100.0)).contains(" s"));
+        assert!(format_mttf(Seconds(7200.0)).contains("hours"));
+        assert!(format_mttf(Seconds::from_years(532.0)).contains("years"));
+        assert_eq!(format_mttf(Seconds(f64::INFINITY)), "∞");
+    }
+}

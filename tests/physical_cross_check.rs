@@ -1,0 +1,81 @@
+//! Cross-validation: the statistical racetrack LLC and the bit-level
+//! physical cache must agree on head-position arithmetic and shift
+//! accounting for the same access pattern.
+
+use hifi_rtm::mem::cache::{AccessKind, Cache};
+use hifi_rtm::mem::physical::PhysicalCache;
+use hifi_rtm::pecc::layout::ProtectionKind;
+use hifi_rtm::track::bit::Bit;
+use hifi_rtm::track::fault::IdealFaultModel;
+use hifi_rtm::util::rng::SmallRng64;
+
+#[test]
+fn physical_movement_matches_analytic_head_model() {
+    // Drive the physical cache and, in parallel, a purely analytic
+    // shadow model (same replacement state, head positions computed
+    // from the geometry). Every per-access physical shift distance must
+    // equal the analytic prediction — the arithmetic the statistical
+    // LLC is built on.
+    let mut physical = PhysicalCache::new(
+        64 * 64, // 64 lines = one group
+        16,
+        ProtectionKind::SECDED,
+        8,
+        Box::new(IdealFaultModel),
+    );
+    let geometry = *physical.geometry();
+    let mut shadow_cache = Cache::new(64 * 64, 16, 64);
+    let mut shadow_head: u64 = 0;
+
+    let mut rng = SmallRng64::new(2015);
+    for i in 0..500 {
+        let line = rng.next_below(64);
+        let addr = line * 64;
+        let (pr, _) = physical.access(addr, AccessKind::Read, None);
+
+        // Shadow prediction.
+        let set = shadow_cache.set_of(addr);
+        let r = shadow_cache.access(addr, AccessKind::Read);
+        let line_index = set * 16 + r.way() as u64;
+        let domain = (line_index % geometry.data_len() as u64) as usize;
+        let target = geometry.head_position_for(domain) as u64;
+        let predicted = shadow_head.abs_diff(target);
+        shadow_head = target;
+
+        assert_eq!(
+            pr.shift_steps, predicted,
+            "access {i} (line {line}): physical {} vs analytic {}",
+            pr.shift_steps, predicted
+        );
+    }
+}
+
+#[test]
+fn physical_data_integrity_under_calibrated_faults() {
+    // Drive the physical cache with the real (tiny) error rates long
+    // enough to cross a few thousand shifts: SECDED must keep every
+    // line's data intact (±1 slips repaired; ±2 at these rates are
+    // ~1e-17 per run and will never fire).
+    let faults = hifi_rtm::track::fault::CalibratedFaultModel::paper(7);
+    let mut c = PhysicalCache::new(
+        64 * 64,
+        16,
+        ProtectionKind::SECDED,
+        8,
+        Box::new(faults),
+    );
+    let pattern = |line: u64| -> Vec<Bit> {
+        (0..8).map(|i| Bit::from((line >> (i % 6)) & 1 == 1)).collect()
+    };
+    for line in 0..64u64 {
+        c.access(line * 64, AccessKind::Write, Some(&pattern(line)));
+    }
+    let mut rng = SmallRng64::new(3);
+    for _ in 0..500 {
+        let line = rng.next_below(64);
+        let (_, data) = c.access(line * 64, AccessKind::Read, None);
+        assert_eq!(data.unwrap(), pattern(line), "line {line}");
+    }
+    assert_eq!(c.dues(), 0);
+    assert!(c.shift_steps() > 1000, "the test must actually shift");
+}

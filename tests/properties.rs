@@ -1,0 +1,166 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use hifi_rtm::controller::safety::SafetyBudget;
+use hifi_rtm::controller::sequence::SequenceTable;
+use hifi_rtm::mem::cache::{AccessKind, Cache};
+use hifi_rtm::model::rates::{mttf_for_error_rate, OutOfStepRates};
+use hifi_rtm::model::shift::ShiftOutcome;
+use hifi_rtm::model::sts::StsTiming;
+use hifi_rtm::pecc::code::{PeccCode, Verdict};
+use hifi_rtm::pecc::layout::ProtectionKind;
+use hifi_rtm::pecc::protected::ProtectedStripe;
+use hifi_rtm::track::bit::Bit;
+use hifi_rtm::track::fault::ScriptedFaultModel;
+use hifi_rtm::track::geometry::StripeGeometry;
+use hifi_rtm::track::stripe::SegmentedStripe;
+use proptest::prelude::*;
+
+proptest! {
+    /// Error-free shifting is reversible for any data pattern and any
+    /// in-range seek schedule: the stripe's data region is preserved.
+    #[test]
+    fn prop_error_free_seeks_preserve_data(
+        data in proptest::collection::vec(any::<bool>(), 64),
+        seeks in proptest::collection::vec(0usize..8, 1..20),
+    ) {
+        let geometry = StripeGeometry::paper_default();
+        let bits: Vec<Bit> = data.iter().copied().map(Bit::from).collect();
+        let mut stripe = SegmentedStripe::with_data(geometry, &bits);
+        for &s in &seeks {
+            stripe.seek(s).unwrap();
+        }
+        prop_assert_eq!(stripe.read_all().unwrap(), bits);
+    }
+
+    /// For every strength m and every offset |e| <= m, the code
+    /// corrects exactly e; |e| = m+1 is flagged uncorrectable.
+    #[test]
+    fn prop_code_corrects_to_strength(m in 0u32..6, e in -7i32..=7) {
+        let code = PeccCode::new(m);
+        let verdict = code.classify_offset(e);
+        if e == 0 {
+            prop_assert_eq!(verdict, Verdict::Clean);
+        } else if e.unsigned_abs() <= m {
+            prop_assert_eq!(verdict, Verdict::Correctable(e));
+        } else if e.unsigned_abs() == m + 1 {
+            prop_assert_eq!(verdict, Verdict::Uncorrectable);
+        }
+        // Beyond m+1 the verdict may alias, but it must never claim a
+        // correction larger than the strength.
+        if let Verdict::Correctable(k) = verdict {
+            prop_assert!(k.unsigned_abs() <= m);
+        }
+    }
+
+    /// The physical stripe and the phase arithmetic always agree: an
+    /// injected offset e is decoded exactly as classify_offset says,
+    /// from any starting head position reachable without data loss.
+    #[test]
+    fn prop_physical_decode_matches_classification(
+        start in 0usize..8,
+        delta in 1i64..=3,
+        e in -2i32..=2,
+    ) {
+        let geometry = StripeGeometry::paper_default();
+        let mut stripe = ProtectedStripe::new(geometry, ProtectionKind::SECDED).unwrap();
+        let mut ideal = hifi_rtm::track::fault::IdealFaultModel;
+        stripe.seek_checked(start, &mut ideal);
+        // Keep the faulty shift inside the head range.
+        let delta = if start as i64 + delta > 7 { -delta } else { delta };
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: e }]);
+        stripe.shift(delta, &mut faults);
+        // The fault model expresses the offset in the direction of
+        // travel; the decoder reports it in absolute head coordinates.
+        let absolute = delta.signum() as i32 * e;
+        let code = PeccCode::secded();
+        prop_assert_eq!(stripe.check(), code.classify_offset(absolute));
+    }
+
+    /// Every safe sequence covers its distance, respects the part cap,
+    /// and meets its own interval threshold's risk bound.
+    #[test]
+    fn prop_sequences_cover_and_bound(distance in 1u32..=7, interval in 0u64..10_000) {
+        let budget = SafetyBudget::paper_secded();
+        let table = SequenceTable::build(&budget, &StsTiming::paper(), 7, 7);
+        let opt = table.select(distance, interval);
+        prop_assert_eq!(opt.sequence.iter().sum::<u32>(), distance);
+        prop_assert!(opt.sequence.iter().all(|&p| (1..=7).contains(&p)));
+        // Risk equals the sum of per-part residuals.
+        let direct: f64 = opt.sequence.iter().map(|&d| budget.residual_rate(d)).sum();
+        prop_assert!((opt.risk - direct).abs() <= direct * 1e-12);
+        // The safest option is never riskier than the selected one.
+        prop_assert!(table.safest(distance).risk <= opt.risk * (1.0 + 1e-12));
+    }
+
+    /// Cache conservation: hits + misses == accesses, writebacks never
+    /// exceed misses, and re-access of the most recent line always hits.
+    #[test]
+    fn prop_cache_conservation(addrs in proptest::collection::vec(0u64..1u64 << 20, 1..300)) {
+        let mut cache = Cache::new(16 << 10, 4, 64);
+        for (i, &a) in addrs.iter().enumerate() {
+            let kind = if i % 3 == 0 { AccessKind::Write } else { AccessKind::Read };
+            cache.access(a, kind);
+        }
+        let s = *cache.stats();
+        prop_assert_eq!(s.hits + s.misses, addrs.len() as u64);
+        prop_assert!(s.writebacks <= s.misses);
+        // MRU property.
+        let last = *addrs.last().unwrap();
+        prop_assert!(cache.access(last, AccessKind::Read).is_hit());
+    }
+
+    /// MTTF is monotone: more error rate or more intensity never helps.
+    #[test]
+    fn prop_mttf_monotone(
+        rate_exp in -24.0f64..-2.0,
+        intensity_exp in 3.0f64..11.0,
+        bump in 1.1f64..10.0,
+    ) {
+        let rate = 10f64.powf(rate_exp);
+        let intensity = 10f64.powf(intensity_exp);
+        let base = mttf_for_error_rate(rate, intensity).as_secs();
+        prop_assert!(mttf_for_error_rate(rate * bump, intensity).as_secs() < base);
+        prop_assert!(mttf_for_error_rate(rate, intensity * bump).as_secs() < base);
+    }
+
+    /// Rate-table sanity for every distance/k in (extrapolated) range:
+    /// probabilities are in [0, 1], monotone in distance, and decay
+    /// catastrophically in k.
+    #[test]
+    fn prop_rate_table_sanity(d in 1u32..=15, k in 1u32..=4) {
+        let rates = OutOfStepRates::paper_calibration();
+        let r = rates.rate(d, k);
+        prop_assert!((0.0..=1.0).contains(&r));
+        if d < 15 {
+            prop_assert!(rates.rate(d + 1, k) >= r);
+        }
+        if k < 4 && r > 0.0 {
+            prop_assert!(rates.rate(d, k + 1) < r);
+        }
+    }
+
+    /// Bit packing round-trips for arbitrary lengths.
+    #[test]
+    fn prop_bit_pack_round_trip(data in proptest::collection::vec(any::<bool>(), 0..130)) {
+        let bits: Vec<Bit> = data.iter().copied().map(Bit::from).collect();
+        let bytes = Bit::pack(&bits);
+        prop_assert_eq!(Bit::unpack(&bytes, bits.len()), bits);
+    }
+
+    /// STS latency formula: cycles are positive, monotone in distance,
+    /// and amortisation holds at scale (doubling the distance never
+    /// doubles the cost; per-step cost is bounded by the 1-step cost).
+    /// Exact per-step monotonicity is broken by ceil() quantisation at
+    /// a few boundaries, so the property compares across octaves.
+    #[test]
+    fn prop_sts_latency_amortises(n in 1u32..64) {
+        let t = StsTiming::paper();
+        let c_n = t.shift_cycles(n).count();
+        prop_assert!(c_n >= 3);
+        prop_assert!(t.shift_cycles(n + 1).count() >= c_n);
+        let c_2n = t.shift_cycles(2 * n).count();
+        prop_assert!(c_2n < 2 * c_n, "doubling must amortise stage 2");
+        let per_1 = t.shift_cycles(1).count() as f64;
+        prop_assert!(c_n as f64 / n as f64 <= per_1 + 1e-12);
+    }
+}
