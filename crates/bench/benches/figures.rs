@@ -1,12 +1,14 @@
-//! One Criterion benchmark per reproduced table/figure: each bench
-//! times the code path that regenerates that artifact (at reduced
-//! fidelity where the full run would take seconds).
+//! One benchmark per reproduced table/figure: each bench times the
+//! code path that regenerates that artifact (at reduced fidelity where
+//! the full run would take seconds). Uses the in-tree
+//! [`rtm_bench::timing`] harness (offline builds cannot pull a
+//! benchmarking framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_bench::timing::bench;
 use rtm_core::experiments::{
-    design, energy_exp, errormodel, motivation, performance, reliability_exp, SweepSettings,
+    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp,
+    SweepSettings,
 };
-use std::hint::black_box;
 
 fn bench_settings() -> SweepSettings {
     let mut s = SweepSettings::quick();
@@ -14,113 +16,42 @@ fn bench_settings() -> SweepSettings {
     s
 }
 
-fn figure1(c: &mut Criterion) {
-    c.bench_function("fig1_mttf_curve", |b| {
-        b.iter(|| black_box(motivation::figure1()))
-    });
-}
-
-fn figure4(c: &mut Criterion) {
-    c.bench_function("fig4_position_pdf_mc", |b| {
-        b.iter(|| black_box(errormodel::figure4_experiment(20_000, 7)))
-    });
-}
-
-fn table2(c: &mut Criterion) {
-    c.bench_function("table2_rate_table", |b| {
-        b.iter(|| black_box(errormodel::table2_experiment()))
-    });
-}
-
-fn figure7(c: &mut Criterion) {
-    c.bench_function("fig7_area_sweep", |b| {
-        b.iter(|| black_box(design::figure7_experiment()))
-    });
-}
-
-fn table3(c: &mut Criterion) {
-    c.bench_function("table3_safe_sequences", |b| {
-        b.iter(|| black_box(design::table3_experiment()))
-    });
-}
-
-fn table5(c: &mut Criterion) {
-    c.bench_function("table5_overheads", |b| {
-        b.iter(|| black_box(design::table5_experiment()))
-    });
-}
-
-fn figure10(c: &mut Criterion) {
+fn main() {
     let s = bench_settings();
-    c.bench_function("fig10_sdc_mttf_sim", |b| {
-        b.iter(|| black_box(reliability_exp::figure10_experiment(&s)))
+    bench("fig1_mttf_curve", motivation::figure1);
+    bench("fig4_position_pdf_mc", || {
+        errormodel::figure4_experiment(20_000, 7)
+    });
+    bench("table2_rate_table", errormodel::table2_experiment);
+    bench("fig7_area_sweep", design::figure7_experiment);
+    bench("table3_safe_sequences", design::table3_experiment);
+    bench("table5_overheads", design::table5_experiment);
+    bench("fig10_sdc_mttf_sim", || {
+        reliability_exp::figure10_experiment(&s)
+    });
+    bench("fig11_due_mttf_sim", || {
+        reliability_exp::figure11_experiment(&s)
+    });
+    bench("fig12_mttf_sensitivity", || {
+        reliability_exp::figure12_experiment(5.12e9)
+    });
+    bench("fig13_area_sensitivity", design::figure13_experiment);
+    bench("fig14_shift_latency_sim", || {
+        performance::figure14_experiment(&s)
+    });
+    bench("fig15_latency_sensitivity", || {
+        performance::figure15_experiment(200)
+    });
+    bench("fig16_execution_time_sim", || {
+        performance::figure16_experiment(&s)
+    });
+    bench("fig17_dynamic_energy_sim", || {
+        energy_exp::figure17_experiment(&s)
+    });
+    bench("fig18_total_energy_sim", || {
+        energy_exp::figure18_experiment(&s)
+    });
+    bench("ablation_report", || {
+        ablation::render_ablations(5_000, 7, 5.12e9)
     });
 }
-
-fn figure11(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("fig11_due_mttf_sim", |b| {
-        b.iter(|| black_box(reliability_exp::figure11_experiment(&s)))
-    });
-}
-
-fn figure12(c: &mut Criterion) {
-    c.bench_function("fig12_mttf_sensitivity", |b| {
-        b.iter(|| black_box(reliability_exp::figure12_experiment(5.12e9)))
-    });
-}
-
-fn figure13(c: &mut Criterion) {
-    c.bench_function("fig13_area_sensitivity", |b| {
-        b.iter(|| black_box(design::figure13_experiment()))
-    });
-}
-
-fn figure14(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("fig14_shift_latency_sim", |b| {
-        b.iter(|| black_box(performance::figure14_experiment(&s)))
-    });
-}
-
-fn figure15(c: &mut Criterion) {
-    c.bench_function("fig15_latency_sensitivity", |b| {
-        b.iter(|| black_box(performance::figure15_experiment(200)))
-    });
-}
-
-fn figure16(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("fig16_execution_time_sim", |b| {
-        b.iter(|| black_box(performance::figure16_experiment(&s)))
-    });
-}
-
-fn figure17(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("fig17_dynamic_energy_sim", |b| {
-        b.iter(|| black_box(energy_exp::figure17_experiment(&s)))
-    });
-}
-
-fn figure18(c: &mut Criterion) {
-    let s = bench_settings();
-    c.bench_function("fig18_total_energy_sim", |b| {
-        b.iter(|| black_box(energy_exp::figure18_experiment(&s)))
-    });
-}
-
-fn ablations(c: &mut Criterion) {
-    use rtm_core::experiments::ablation;
-    c.bench_function("ablation_report", |b| {
-        b.iter(|| black_box(ablation::render_ablations(5_000, 7, 5.12e9)))
-    });
-}
-
-criterion_group!(
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = figure1, figure4, table2, figure7, table3, table5, figure10, figure11,
-        figure12, figure13, figure14, figure15, figure16, figure17, figure18, ablations
-);
-criterion_main!(figures);

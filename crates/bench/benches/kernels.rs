@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the hot kernels: shift planning, p-ECC
 //! decoding, physical stripe shifting, Monte-Carlo sampling and the
-//! cache simulator's access path.
+//! cache simulator's access path. Uses the in-tree
+//! [`rtm_bench::timing`] harness (offline builds cannot pull a
+//! benchmarking framework).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtm_bench::timing::bench;
 use rtm_controller::controller::{ShiftController, ShiftPolicy};
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice};
 use rtm_model::params::DeviceParams;
@@ -10,14 +12,12 @@ use rtm_model::shift::ShiftSimulator;
 use rtm_pecc::code::PeccCode;
 use rtm_pecc::layout::ProtectionKind;
 use rtm_pecc::protected::ProtectedStripe;
+use rtm_trace::{TraceGenerator, WorkloadProfile};
 use rtm_track::fault::IdealFaultModel;
 use rtm_track::geometry::StripeGeometry;
-use rtm_trace::{TraceGenerator, WorkloadProfile};
-use std::hint::black_box;
 
-fn bench_shift_planning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("controller_plan_shift");
-    for policy in [
+fn bench_shift_planning() {
+    for (label, policy) in [
         ("adaptive", ShiftPolicy::Adaptive),
         ("step_by_step", ShiftPolicy::StepByStep),
         (
@@ -27,89 +27,73 @@ fn bench_shift_planning(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_function(policy.0, |b| {
-            let kind = if policy.0 == "step_by_step" {
-                ProtectionKind::SECDED_O
-            } else {
-                ProtectionKind::SECDED
-            };
-            let mut ctl = ShiftController::new(kind, policy.1);
-            let mut t = 0u64;
-            b.iter(|| {
-                t += 37;
-                black_box(ctl.plan_shift(black_box(1 + (t % 7) as u32), t))
-            })
+        let kind = if label == "step_by_step" {
+            ProtectionKind::SECDED_O
+        } else {
+            ProtectionKind::SECDED
+        };
+        let mut ctl = ShiftController::new(kind, policy);
+        let mut t = 0u64;
+        bench(&format!("controller_plan_shift/{label}"), || {
+            t += 37;
+            ctl.plan_shift(1 + (t % 7) as u32, t)
         });
     }
-    group.finish();
 }
 
-fn bench_pecc_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pecc_decode");
+fn bench_pecc_decode() {
     for m in [1u32, 2, 3] {
         let code = PeccCode::new(m);
         let observed = code.expected_window(5);
-        group.bench_with_input(BenchmarkId::new("window", m), &m, |b, _| {
-            b.iter(|| black_box(code.decode(black_box(6), &observed)))
+        bench(&format!("pecc_decode/window/{m}"), || {
+            code.decode(6, &observed)
         });
-        group.bench_with_input(BenchmarkId::new("classify", m), &m, |b, _| {
-            b.iter(|| black_box(code.classify_offset(black_box(1))))
+        bench(&format!("pecc_decode/classify/{m}"), || {
+            code.classify_offset(1)
         });
     }
-    group.finish();
 }
 
-fn bench_physical_shift(c: &mut Criterion) {
-    c.bench_function("protected_stripe_shift_checked", |b| {
-        let mut stripe =
-            ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::SECDED)
-                .expect("valid layout");
-        let mut ideal = IdealFaultModel;
-        let mut dir = 1i64;
-        b.iter(|| {
-            // Ping-pong across the head range.
-            if stripe.believed_head() >= 7 {
-                dir = -1;
-            } else if stripe.believed_head() <= 0 {
-                dir = 1;
-            }
-            black_box(stripe.shift_checked(dir, &mut ideal, 3))
-        })
+fn bench_physical_shift() {
+    let mut stripe = ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::SECDED)
+        .expect("valid layout");
+    let mut ideal = IdealFaultModel;
+    let mut dir = 1i64;
+    bench("protected_stripe_shift_checked", || {
+        // Ping-pong across the head range.
+        if stripe.believed_head() >= 7 {
+            dir = -1;
+        } else if stripe.believed_head() <= 0 {
+            dir = 1;
+        }
+        stripe.shift_checked(dir, &mut ideal, 3)
     });
 }
 
-fn bench_monte_carlo(c: &mut Criterion) {
-    c.bench_function("shift_simulator_sts_7step", |b| {
-        let mut sim = ShiftSimulator::new(DeviceParams::table1(), 9);
-        b.iter(|| black_box(sim.shift_with_sts(7)))
-    });
+fn bench_monte_carlo() {
+    let mut sim = ShiftSimulator::new(DeviceParams::table1(), 9);
+    bench("shift_simulator_sts_7step", || sim.shift_with_sts(7));
 }
 
-fn bench_hierarchy_access(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hierarchy_access");
-    group.throughput(criterion::Throughput::Elements(1));
-    for choice in [
+fn bench_hierarchy_access() {
+    for (label, choice) in [
         ("sram", LlcChoice::SramBaseline),
         ("rm_adaptive", LlcChoice::RacetrackPeccSAdaptive),
         ("rm_pecc_o", LlcChoice::RacetrackPeccO),
     ] {
-        group.bench_function(choice.0, |b| {
-            let mut sys = Hierarchy::new(choice.1);
-            let mut gen =
-                TraceGenerator::new(WorkloadProfile::by_name("canneal").unwrap(), 11);
-            b.iter(|| {
-                let a = gen.next_access();
-                black_box(sys.access(&a))
-            })
+        let mut sys = Hierarchy::new(choice);
+        let mut gen = TraceGenerator::new(WorkloadProfile::by_name("canneal").unwrap(), 11);
+        bench(&format!("hierarchy_access/{label}"), || {
+            let a = gen.next_access();
+            sys.access(&a)
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(30);
-    targets = bench_shift_planning, bench_pecc_decode, bench_physical_shift,
-        bench_monte_carlo, bench_hierarchy_access
-);
-criterion_main!(kernels);
+fn main() {
+    bench_shift_planning();
+    bench_pecc_decode();
+    bench_physical_shift();
+    bench_monte_carlo();
+    bench_hierarchy_access();
+}

@@ -5,6 +5,8 @@
 //! cargo run --release -p rtm-bench --bin report            # full fidelity
 //! cargo run --release -p rtm-bench --bin report -- --quick # ~30 s
 //! cargo run --release -p rtm-bench --bin report -- --out report.md
+//! cargo run --release -p rtm-bench --bin report -- \
+//!     --quick --metrics m.json --events e.json --progress
 //! ```
 //!
 //! Exits non-zero if any claim fails, so this doubles as a regression
@@ -16,22 +18,33 @@ use rtm_core::experiments::SweepSettings;
 fn main() {
     let mut quick = false;
     let mut out: Option<std::path::PathBuf> = None;
+    let mut metrics: Option<std::path::PathBuf> = None;
+    let mut events: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
+    let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("error: {flag} needs a path");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
-            "--out" => {
-                let v = args.next().unwrap_or_else(|| {
-                    eprintln!("error: --out needs a path");
-                    std::process::exit(2);
-                });
-                out = Some(v.into());
-            }
+            "--out" => out = Some(path_arg(&mut args, "--out").into()),
+            "--metrics" => metrics = Some(path_arg(&mut args, "--metrics").into()),
+            "--events" => events = Some(path_arg(&mut args, "--events").into()),
+            "--progress" => rtm_obs::set_progress(true),
             other => {
                 eprintln!("error: unknown flag {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if metrics.is_some() {
+        rtm_obs::global().registry().set_enabled(true);
+    }
+    if events.is_some() {
+        rtm_obs::global().trace().set_enabled(true);
     }
     let settings = if quick {
         let mut s = SweepSettings::quick();
@@ -57,6 +70,19 @@ fn main() {
             eprintln!("wrote {}", path.display());
         }
         None => println!("{md}"),
+    }
+    let write_json = |path: &std::path::Path, doc: &rtm_obs::json::Json| {
+        if let Err(e) = rtm_obs::export::write_json(path, doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
+    };
+    if let Some(path) = &metrics {
+        write_json(path, &rtm_obs::global().registry().snapshot().to_json());
+    }
+    if let Some(path) = &events {
+        write_json(path, &rtm_obs::global().trace().snapshot().to_json());
     }
     if report.pass_rate() < 1.0 {
         eprintln!("REPRODUCTION REGRESSION: some claims failed");

@@ -4,12 +4,19 @@
 //! cargo run --release -p rtm-bench --bin repro -- --exp all
 //! cargo run --release -p rtm-bench --bin repro -- --exp fig11 --quick
 //! cargo run --release -p rtm-bench --bin repro -- --list
+//! cargo run --release -p rtm-bench --bin repro -- \
+//!     --exp fig14 --quick --metrics m.json --events e.json --progress
 //! ```
+//!
+//! `--metrics` / `--events` switch on the rtm-obs registry and shift
+//! transaction trace and dump their snapshots as JSON on exit;
+//! `--progress` prints heartbeat lines for long sweeps; `--accesses`
+//! overrides the per-cell trace length.
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
-    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp,
-    RtVariant, SimSweep, SweepSettings,
+    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp, RtVariant,
+    SimSweep, SweepSettings,
 };
 use rtm_mem::hierarchy::LlcChoice;
 
@@ -17,12 +24,20 @@ struct Options {
     experiments: Vec<String>,
     quick: bool,
     csv_dir: Option<std::path::PathBuf>,
+    metrics: Option<std::path::PathBuf>,
+    events: Option<std::path::PathBuf>,
+    progress: bool,
+    accesses: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut experiments = Vec::new();
     let mut quick = false;
     let mut csv_dir = None;
+    let mut metrics = None;
+    let mut events = None;
+    let mut progress = false;
+    let mut accesses = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -40,6 +55,25 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--csv needs a directory")?;
                 csv_dir = Some(std::path::PathBuf::from(v));
             }
+            "--metrics" => {
+                let v = args.next().ok_or("--metrics needs a file path")?;
+                metrics = Some(std::path::PathBuf::from(v));
+            }
+            "--events" => {
+                let v = args.next().ok_or("--events needs a file path")?;
+                events = Some(std::path::PathBuf::from(v));
+            }
+            "--progress" => progress = true,
+            "--accesses" => {
+                let v = args.next().ok_or("--accesses needs a count")?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--accesses: not a number: {v}"))?;
+                if n == 0 {
+                    return Err("--accesses must be positive".into());
+                }
+                accesses = Some(n);
+            }
             "--quick" => quick = true,
             "--list" => {
                 println!("all");
@@ -54,7 +88,15 @@ fn parse_args() -> Result<Options, String> {
     if experiments.is_empty() {
         experiments.push("all".to_string());
     }
-    Ok(Options { experiments, quick, csv_dir })
+    Ok(Options {
+        experiments,
+        quick,
+        csv_dir,
+        metrics,
+        events,
+        progress,
+        accesses,
+    })
 }
 
 fn main() {
@@ -65,7 +107,16 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let settings = if opts.quick {
+    if opts.metrics.is_some() {
+        rtm_obs::global().registry().set_enabled(true);
+    }
+    if opts.events.is_some() {
+        rtm_obs::global().trace().set_enabled(true);
+    }
+    if opts.progress {
+        rtm_obs::set_progress(true);
+    }
+    let mut settings = if opts.quick {
         let mut s = SweepSettings::quick();
         s.accesses = 60_000;
         s.workloads = None; // all workloads, short traces
@@ -73,13 +124,12 @@ fn main() {
     } else {
         SweepSettings::full()
     };
+    if let Some(n) = opts.accesses {
+        settings.accesses = n;
+    }
     let mc_trials: u64 = if opts.quick { 200_000 } else { 2_000_000 };
 
-    let wanted = |name: &str| {
-        opts.experiments
-            .iter()
-            .any(|e| e == "all" || e == name)
-    };
+    let wanted = |name: &str| opts.experiments.iter().any(|e| e == "all" || e == name);
 
     // Simulation sweeps are the expensive part; run each matrix once
     // and let every figure that needs it slice the shared results.
@@ -121,8 +171,14 @@ fn main() {
             }
         };
         if let Some(sweep) = &variant_sweep {
-            write("fig10", reliability_exp::figure10_from(sweep, &settings).csv());
-            write("fig11", reliability_exp::figure11_from(sweep, &settings).csv());
+            write(
+                "fig10",
+                reliability_exp::figure10_from(sweep, &settings).csv(),
+            );
+            write(
+                "fig11",
+                reliability_exp::figure11_from(sweep, &settings).csv(),
+            );
             write("fig14", performance::figure14_from(sweep, &settings).csv());
         }
         if let Some(sweep) = &choice_sweep {
@@ -164,8 +220,7 @@ fn main() {
         design::render_figure13(&design::figure13_experiment())
     });
     section("fig14", &|| {
-        performance::figure14_from(variant_sweep.as_ref().expect("sweep ran"), &settings)
-            .render()
+        performance::figure14_from(variant_sweep.as_ref().expect("sweep ran"), &settings).render()
     });
     section("fig15", &|| {
         performance::render_figure15(&performance::figure15_experiment(200))
@@ -197,6 +252,23 @@ fn main() {
     section("ablation", &|| {
         ablation::render_ablations(mc_trials / 4, 2015, 5.12e9)
     });
+
+    // Machine-readable run artefacts: metrics registry and shift
+    // transaction trace snapshots, written even on a partial run so a
+    // crash-free exit always leaves usable telemetry behind.
+    let write_json = |path: &std::path::Path, doc: &rtm_obs::json::Json| {
+        if let Err(e) = rtm_obs::export::write_json(path, doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
+    };
+    if let Some(path) = &opts.metrics {
+        write_json(path, &rtm_obs::global().registry().snapshot().to_json());
+    }
+    if let Some(path) = &opts.events {
+        write_json(path, &rtm_obs::global().trace().snapshot().to_json());
+    }
 
     if shown == 0 {
         eprintln!("nothing to do");

@@ -5,7 +5,12 @@
 //! trace-tool record canneal 500000 canneal.rtmt [seed]
 //! trace-tool info canneal.rtmt
 //! trace-tool replay canneal.rtmt rm-adaptive
+//! trace-tool --metrics m.json --events e.json --progress replay canneal.rtmt rm-adaptive
 //! ```
+//!
+//! The leading `--metrics` / `--events` / `--progress` flags switch on
+//! rtm-obs recording for any subcommand and dump JSON snapshots on
+//! exit.
 
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice};
 use rtm_trace::replay::{read_trace, write_trace};
@@ -13,7 +18,8 @@ use rtm_trace::{TraceGenerator, WorkloadProfile};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace-tool record <workload> <accesses> <file> [seed]\n  \
+        "usage:\n  trace-tool [--metrics <f.json>] [--events <f.json>] [--progress] <command>\n  \
+         trace-tool record <workload> <accesses> <file> [seed]\n  \
          trace-tool info <file>\n  trace-tool replay <file> <llc>\n\n\
          workloads: {}\nllcs: sram, stt-ram, rm-ideal, rm-bare, rm-pecc-o, rm-adaptive, rm-worst",
         WorkloadProfile::parsec()
@@ -39,7 +45,37 @@ fn llc_by_name(name: &str) -> Option<LlcChoice> {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut metrics: Option<std::path::PathBuf> = None;
+    let mut events: Option<std::path::PathBuf> = None;
+    // Peel leading observability flags off before subcommand dispatch.
+    while let Some(flag) = args.first().map(String::as_str) {
+        match flag {
+            "--metrics" | "--events" => {
+                if args.len() < 2 {
+                    eprintln!("error: {flag} needs a path");
+                    usage();
+                }
+                let path = std::path::PathBuf::from(args.remove(1));
+                if args.remove(0) == "--metrics" {
+                    metrics = Some(path);
+                } else {
+                    events = Some(path);
+                }
+            }
+            "--progress" => {
+                rtm_obs::set_progress(true);
+                args.remove(0);
+            }
+            _ => break,
+        }
+    }
+    if metrics.is_some() {
+        rtm_obs::global().registry().set_enabled(true);
+    }
+    if events.is_some() {
+        rtm_obs::global().trace().set_enabled(true);
+    }
     match args.first().map(String::as_str) {
         Some("record") if args.len() >= 4 => {
             let Some(profile) = WorkloadProfile::by_name(&args[1]) else {
@@ -57,7 +93,10 @@ fn main() {
                 eprintln!("write failed: {e}");
                 std::process::exit(2);
             });
-            println!("recorded {n} accesses of {} (seed {seed}) to {}", profile.name, args[3]);
+            println!(
+                "recorded {n} accesses of {} (seed {seed}) to {}",
+                profile.name, args[3]
+            );
         }
         Some("info") if args.len() == 2 => {
             let file = std::fs::File::open(&args[1]).unwrap_or_else(|e| {
@@ -73,9 +112,20 @@ fn main() {
                 accesses.iter().map(|a| a.addr >> 6).collect();
             let max_addr = accesses.iter().map(|a| a.addr).max().unwrap_or(0);
             println!("accesses:      {}", accesses.len());
-            println!("writes:        {} ({:.1}%)", writes, 100.0 * writes as f64 / accesses.len().max(1) as f64);
-            println!("unique lines:  {} ({} KiB touched)", lines.len(), lines.len() * 64 / 1024);
-            println!("address span:  {:.1} MiB", max_addr as f64 / (1 << 20) as f64);
+            println!(
+                "writes:        {} ({:.1}%)",
+                writes,
+                100.0 * writes as f64 / accesses.len().max(1) as f64
+            );
+            println!(
+                "unique lines:  {} ({} KiB touched)",
+                lines.len(),
+                lines.len() * 64 / 1024
+            );
+            println!(
+                "address span:  {:.1} MiB",
+                max_addr as f64 / (1 << 20) as f64
+            );
         }
         Some("replay") if args.len() == 3 => {
             let Some(choice) = llc_by_name(&args[2]) else {
@@ -97,12 +147,28 @@ fn main() {
             println!("llc miss rate: {:.2}%", r.llc.cache.miss_rate() * 100.0);
             println!("shift ops:     {}", r.llc.shift_ops);
             println!("shift cycles:  {}", r.shift_cycles);
-            println!("dyn energy:    {:.4} mJ", r.llc_dynamic_energy().as_millijoules());
+            println!(
+                "dyn energy:    {:.4} mJ",
+                r.llc_dynamic_energy().as_millijoules()
+            );
             println!(
                 "DUE MTTF:      {}",
                 rtm_util::units::format_mttf(r.due_mttf())
             );
         }
         _ => usage(),
+    }
+    let write_json = |path: &std::path::Path, doc: &rtm_obs::json::Json| {
+        if let Err(e) = rtm_obs::export::write_json(path, doc) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
+    };
+    if let Some(path) = &metrics {
+        write_json(path, &rtm_obs::global().registry().snapshot().to_json());
+    }
+    if let Some(path) = &events {
+        write_json(path, &rtm_obs::global().trace().snapshot().to_json());
     }
 }

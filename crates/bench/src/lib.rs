@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 /// The experiment identifiers the `repro` binary accepts.
 pub const EXPERIMENTS: [&str; 16] = [
     "fig1", "fig4", "table2", "fig7", "table3", "table5", "fig10", "fig11", "fig12", "fig13",

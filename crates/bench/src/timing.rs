@@ -1,0 +1,77 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace builds offline, so the benches cannot use an external
+//! benchmarking framework. This harness covers what the `figures` and
+//! `kernels` benches need: warm up, run a measured batch of
+//! iterations, and print mean/min per-iteration times in a stable
+//! one-line format. It makes no statistical claims beyond that — for
+//! rigorous comparisons, run the benches several times.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measured batch.
+const TARGET_BATCH: Duration = Duration::from_millis(200);
+
+/// Measured batches per benchmark.
+const BATCHES: usize = 5;
+
+/// Times `f` and prints `name: mean <t>/iter, min <t>/iter (<n> iters)`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimiser cannot delete the benchmarked work.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Warm-up and batch-size calibration: run until ~50 ms elapse.
+    let calibration = Instant::now();
+    let mut calibration_iters = 0u64;
+    while calibration.elapsed() < TARGET_BATCH / 4 {
+        black_box(f());
+        calibration_iters += 1;
+    }
+    let per_iter = calibration.elapsed().as_secs_f64() / calibration_iters as f64;
+    let batch_iters = ((TARGET_BATCH.as_secs_f64() / per_iter) as u64).max(1);
+
+    let mut best = f64::INFINITY;
+    let mut total = 0.0f64;
+    for _ in 0..BATCHES {
+        let start = Instant::now();
+        for _ in 0..batch_iters {
+            black_box(f());
+        }
+        let batch = start.elapsed().as_secs_f64() / batch_iters as f64;
+        best = best.min(batch);
+        total += batch;
+    }
+    let mean = total / BATCHES as f64;
+    println!(
+        "{name}: mean {}/iter, min {}/iter ({} iters x {BATCHES})",
+        format_secs(mean),
+        format_secs(best),
+        batch_iters
+    );
+}
+
+fn format_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_picks_sensible_units() {
+        assert_eq!(format_secs(2.5), "2.500 s");
+        assert_eq!(format_secs(2.5e-3), "2.500 ms");
+        assert_eq!(format_secs(2.5e-6), "2.500 us");
+        assert_eq!(format_secs(2.5e-9), "2.5 ns");
+    }
+}

@@ -15,6 +15,7 @@ use crate::safety::SafetyBudget;
 use crate::sequence::{SequenceTable, PECC_CHECK_CYCLES};
 use rtm_model::rates::MAX_TABULATED_DISTANCE;
 use rtm_model::sts::StsTiming;
+use rtm_obs::events::{PeccOutcome, ShiftEvent};
 use rtm_pecc::code::{PeccCode, Verdict};
 use rtm_pecc::layout::ProtectionKind;
 use rtm_util::units::Cycles;
@@ -83,6 +84,24 @@ pub struct ControllerStats {
     pub expected_dues: f64,
     /// Accumulated SDC probability.
     pub expected_sdcs: f64,
+}
+
+impl ControllerStats {
+    /// This stats block as an [`rtm_obs`] registry snapshot, under
+    /// `controller.*` metric names (counts as counters, accumulated
+    /// probabilities as gauges).
+    pub fn to_metrics(&self) -> rtm_obs::metrics::RegistrySnapshot {
+        let reg = rtm_obs::metrics::MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter_add("controller.requests", self.requests);
+        reg.counter_add("controller.operations", self.operations);
+        reg.counter_add("controller.steps", self.steps);
+        reg.counter_add("controller.shift_cycles", self.shift_cycles);
+        reg.counter_add("controller.checks", self.checks);
+        reg.gauge_set("controller.expected_dues", self.expected_dues);
+        reg.gauge_set("controller.expected_sdcs", self.expected_sdcs);
+        reg.snapshot()
+    }
 }
 
 /// The position-error-aware shift controller.
@@ -182,9 +201,7 @@ impl ShiftController {
                     .unwrap_or(1);
                 split_by_cap(distance, dsafe)
             }
-            (_, ShiftPolicy::Adaptive) => {
-                self.table.select(distance, interval).sequence.clone()
-            }
+            (_, ShiftPolicy::Adaptive) => self.table.select(distance, interval).sequence.clone(),
         };
         let plan = self.cost_sequence(&sequence);
         self.stats.requests += 1;
@@ -194,7 +211,79 @@ impl ShiftController {
         self.stats.checks += plan.checks as u64;
         self.stats.expected_dues += plan.due_risk;
         self.stats.expected_sdcs += plan.sdc_risk;
+        self.record_observability(distance, &plan, now_cycles);
         plan
+    }
+
+    /// Emits the transaction into the global observer. No-ops (one
+    /// relaxed atomic load each) when metrics/tracing are disabled.
+    fn record_observability(&self, distance: u32, plan: &ShiftPlan, now_cycles: u64) {
+        let obs = rtm_obs::global();
+        let reg = obs.registry();
+        if reg.enabled() {
+            reg.counter_add("shift.count", 1);
+            reg.counter_add("shift.operations", plan.sequence.len() as u64);
+            reg.counter_add("shift.steps", distance as u64);
+            reg.counter_add("pecc.checks", plan.checks as u64);
+            if plan.sequence.len() > 1 {
+                reg.counter_add("shift.split.count", 1);
+            }
+            reg.observe("shift.latency_cycles", plan.latency.count() as f64);
+            reg.observe_with(
+                "shift.distance",
+                distance as f64,
+                &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 16.0, 32.0, 64.0],
+            );
+        }
+        let trace = obs.trace();
+        if trace.enabled() {
+            let parts = plan.sequence.len() as u32;
+            trace.record(
+                now_cycles,
+                ShiftEvent::ShiftPlanned {
+                    distance,
+                    parts,
+                    latency_cycles: plan.latency.count(),
+                },
+            );
+            if parts > 1 {
+                let cap = plan.sequence.iter().copied().max().unwrap_or(distance);
+                trace.record(
+                    now_cycles,
+                    ShiftEvent::SafeDistanceSplit {
+                        distance,
+                        cap,
+                        parts,
+                    },
+                );
+            }
+            // The statistical controller does not sample faults, so
+            // every planned check lands clean here; sampled
+            // corrected/uncorrectable verdicts come from the
+            // bit-accurate injection layer.
+            let protected = plan.checks > 0;
+            let mut t = now_cycles;
+            for &d in &plan.sequence {
+                let cycles = self.timing.shift_cycles(d).count();
+                trace.record(
+                    t,
+                    ShiftEvent::StsPulse {
+                        distance: d,
+                        cycles,
+                    },
+                );
+                t += cycles;
+                if protected {
+                    t += PECC_CHECK_CYCLES;
+                    trace.record(
+                        t,
+                        ShiftEvent::PeccVerdict {
+                            outcome: PeccOutcome::Clean,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Computes latency and residual risk for an explicit sequence
@@ -262,8 +351,7 @@ impl ShiftController {
     /// treats this as negligible for performance — this method shows
     /// why (the expectation adds ~10⁻⁴ cycles per shift).
     pub fn expected_latency_with_corrections(&self, plan: &ShiftPlan) -> f64 {
-        let correction_cost =
-            (self.timing.shift_cycles(1).count() + PECC_CHECK_CYCLES) as f64;
+        let correction_cost = (self.timing.shift_cycles(1).count() + PECC_CHECK_CYCLES) as f64;
         plan.latency.count() as f64 + plan.expected_corrections * correction_cost
     }
 
@@ -326,7 +414,9 @@ mod tests {
         // 83 M accesses/s → safe distance 3 (Section 5.2).
         let mut ctl = ShiftController::new(
             ProtectionKind::SECDED,
-            ShiftPolicy::FixedSafe { worst_intensity_hz: 83_000_000 },
+            ShiftPolicy::FixedSafe {
+                worst_intensity_hz: 83_000_000,
+            },
         );
         let plan = ctl.plan_shift(7, 0);
         assert_eq!(plan.sequence, vec![3, 3, 1]);
@@ -389,7 +479,9 @@ mod tests {
             ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Unconstrained);
         let mut safe = ShiftController::new(
             ProtectionKind::SECDED,
-            ShiftPolicy::FixedSafe { worst_intensity_hz: 83_000_000 },
+            ShiftPolicy::FixedSafe {
+                worst_intensity_hz: 83_000_000,
+            },
         );
         let loose = unconstrained.plan_shift(7, 0);
         let tight = safe.plan_shift(7, 0);

@@ -75,7 +75,11 @@ impl SequenceTable {
             seq: Vec<u32>,
         }
         let mut frontiers: Vec<Vec<Node>> = vec![Vec::new(); max_distance as usize + 1];
-        frontiers[0].push(Node { latency: 0, risk: 0.0, seq: Vec::new() });
+        frontiers[0].push(Node {
+            latency: 0,
+            risk: 0.0,
+            seq: Vec::new(),
+        });
         for d in 1..=max_distance as usize {
             let mut cands: Vec<Node> = Vec::new();
             for part in 1..=max_part.min(d as u32) {
@@ -294,12 +298,7 @@ mod tests {
 
     #[test]
     fn max_part_caps_sub_shifts() {
-        let t = SequenceTable::build(
-            &SafetyBudget::paper_secded(),
-            &StsTiming::paper(),
-            7,
-            3,
-        );
+        let t = SequenceTable::build(&SafetyBudget::paper_secded(), &StsTiming::paper(), 7, 3);
         for o in t.options(7) {
             assert!(o.sequence.iter().all(|&p| p <= 3), "{:?}", o.sequence);
         }
@@ -309,12 +308,7 @@ mod tests {
     fn distances_beyond_tabulated_rates_still_work() {
         // A 15-step request (e.g. Lseg = 16 geometries) uses the
         // power-law extrapolation transparently.
-        let t = SequenceTable::build(
-            &SafetyBudget::paper_secded(),
-            &StsTiming::paper(),
-            15,
-            7,
-        );
+        let t = SequenceTable::build(&SafetyBudget::paper_secded(), &StsTiming::paper(), 15, 7);
         let o = t.select(15, 1_000_000_000);
         assert_eq!(o.sequence.iter().sum::<u32>(), 15);
     }

@@ -1,51 +1,59 @@
 //! Property tests for Algorithm 1's sequence planner.
 
-use proptest::prelude::*;
 use rtm_controller::controller::{ShiftController, ShiftPolicy};
 use rtm_controller::safety::SafetyBudget;
 use rtm_controller::sequence::SequenceTable;
 use rtm_model::sts::StsTiming;
 use rtm_pecc::layout::ProtectionKind;
+use rtm_util::check::{run_cases, Gen};
 
 fn table() -> SequenceTable {
     SequenceTable::build(&SafetyBudget::paper_secded(), &StsTiming::paper(), 7, 7)
 }
 
-proptest! {
-    /// The selected option is optimal: no Pareto option with a
-    /// satisfied threshold is faster.
-    #[test]
-    fn selection_is_latency_optimal(distance in 1u32..=7, interval in 0u64..5_000_000) {
+/// The selected option is optimal: no Pareto option with a
+/// satisfied threshold is faster.
+#[test]
+fn selection_is_latency_optimal() {
+    run_cases(256, |g: &mut Gen| {
+        let distance = g.u32_in(1, 7);
+        let interval = g.u64_in(0, 4_999_999);
         let t = table();
         let chosen = t.select(distance, interval);
         for opt in t.options(distance) {
             if opt.min_interval <= interval {
-                prop_assert!(
+                assert!(
                     chosen.latency <= opt.latency,
                     "chosen {:?} slower than feasible {:?}",
-                    chosen.sequence, opt.sequence
+                    chosen.sequence,
+                    opt.sequence
                 );
             }
         }
-    }
+    });
+}
 
-    /// The frontier is complete: every composition of the distance into
-    /// parts <= 7 is dominated by (or equal to) some frontier entry.
-    #[test]
-    fn frontier_dominates_random_compositions(
-        distance in 1u32..=7,
-        cuts in proptest::collection::vec(1u32..=7, 1..6),
-    ) {
+/// The frontier is complete: every composition of the distance into
+/// parts <= 7 is dominated by (or equal to) some frontier entry.
+#[test]
+fn frontier_dominates_random_compositions() {
+    run_cases(256, |g: &mut Gen| {
+        let distance = g.u32_in(1, 7);
+        let cuts = g.vec_of(1, 5, |g| g.u32_in(1, 7));
         // Build an arbitrary composition of `distance` from the cuts.
         let mut seq = Vec::new();
         let mut rest = distance;
         for &c in &cuts {
-            if rest == 0 { break; }
+            if rest == 0 {
+                break;
+            }
             let part = c.min(rest);
             seq.push(part);
             rest -= part;
         }
-        if rest > 0 { seq.push(rest); }
+        if rest > 0 {
+            seq.push(rest);
+        }
 
         let budget = SafetyBudget::paper_secded();
         let timing = StsTiming::paper();
@@ -56,25 +64,28 @@ proptest! {
         let risk: f64 = seq.iter().map(|&d| budget.residual_rate(d)).sum();
 
         let t = table();
-        let dominated = t.options(distance).iter().any(|o| {
-            o.latency.count() <= latency && o.risk <= risk * (1.0 + 1e-12)
-        });
-        prop_assert!(dominated, "composition {seq:?} undominated");
-    }
+        let dominated = t
+            .options(distance)
+            .iter()
+            .any(|o| o.latency.count() <= latency && o.risk <= risk * (1.0 + 1e-12));
+        assert!(dominated, "composition {seq:?} undominated");
+    });
+}
 
-    /// Adaptive planning is risk-sound: over any request pattern, the
-    /// accumulated expected DUEs stay within the budget implied by the
-    /// elapsed time (the interval-threshold invariant), up to the
-    /// quantisation of the safest sequence.
-    #[test]
-    fn adaptive_risk_within_time_budget(
-        gaps in proptest::collection::vec(4u64..100_000, 1..60),
-        distances in proptest::collection::vec(1u32..=7, 1..60),
-    ) {
+/// Adaptive planning is risk-sound: over any request pattern, the
+/// accumulated expected DUEs stay within the budget implied by the
+/// elapsed time (the interval-threshold invariant), up to the
+/// quantisation of the safest sequence.
+#[test]
+fn adaptive_risk_within_time_budget() {
+    run_cases(64, |g: &mut Gen| {
+        let n = g.usize_in(1, 59);
+        let gaps = g.vec_of(n, n, |g| g.u64_in(4, 99_999));
+        let distances = g.vec_of(n, n, |g| g.u32_in(1, 7));
         let mut ctl = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
         let mut t = 0u64;
-        for (g, d) in gaps.iter().zip(&distances) {
-            t += g;
+        for (gap, d) in gaps.iter().zip(&distances) {
+            t += gap;
             let _ = ctl.plan_shift(*d, t);
         }
         let stats = ctl.stats();
@@ -84,39 +95,47 @@ proptest! {
         let elapsed_secs = t as f64 / 2.0e9;
         let target = rtm_controller::safety::PAPER_RELIABILITY_TARGET.as_secs();
         let slack = 8.0 * 7.0 * 1.37e-21; // a few safest sequences
-        prop_assert!(
+        assert!(
             stats.expected_dues <= elapsed_secs / target + slack,
             "risk {} exceeds budget {}",
             stats.expected_dues,
             elapsed_secs / target + slack
         );
-    }
+    });
+}
 
-    /// FixedSafe always splits to its cap; StepByStep always to ones.
-    #[test]
-    fn policies_obey_distance_caps(distance in 1u32..=7) {
+/// FixedSafe always splits to its cap; StepByStep always to ones.
+#[test]
+fn policies_obey_distance_caps() {
+    run_cases(32, |g: &mut Gen| {
+        let distance = g.u32_in(1, 7);
         let mut fixed = ShiftController::new(
             ProtectionKind::SECDED,
-            ShiftPolicy::FixedSafe { worst_intensity_hz: 83_000_000 },
+            ShiftPolicy::FixedSafe {
+                worst_intensity_hz: 83_000_000,
+            },
         );
         let plan = fixed.plan_shift(distance, 0);
-        prop_assert!(plan.sequence.iter().all(|&p| p <= 3));
-        prop_assert_eq!(plan.sequence.iter().sum::<u32>(), distance);
+        assert!(plan.sequence.iter().all(|&p| p <= 3));
+        assert_eq!(plan.sequence.iter().sum::<u32>(), distance);
 
         let mut step = ShiftController::new(ProtectionKind::SECDED_O, ShiftPolicy::StepByStep);
         let plan = step.plan_shift(distance, 0);
-        prop_assert_eq!(plan.sequence, vec![1; distance as usize]);
-    }
+        assert_eq!(plan.sequence, vec![1; distance as usize]);
+    });
+}
 
-    /// Risk accounting conserves probability: SDC + DUE + corrections
-    /// mass equals the total error mass of the sequence.
-    #[test]
-    fn risk_mass_conserved(distance in 1u32..=7) {
+/// Risk accounting conserves probability: SDC + DUE + corrections
+/// mass equals the total error mass of the sequence.
+#[test]
+fn risk_mass_conserved() {
+    run_cases(32, |g: &mut Gen| {
+        let distance = g.u32_in(1, 7);
         let mut ctl = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Unconstrained);
         let plan = ctl.plan_shift(distance, 0);
         let rates = rtm_model::rates::OutOfStepRates::paper_calibration();
         let total: f64 = (1..=4u32).map(|k| rates.rate(distance, k)).sum();
         let acc = plan.sdc_risk + plan.due_risk + plan.expected_corrections;
-        prop_assert!((acc - total).abs() <= total * 1e-9);
-    }
+        assert!((acc - total).abs() <= total * 1e-9);
+    });
 }

@@ -125,9 +125,8 @@ impl RtmConfig {
     /// variation scale) and regenerates the rate table from the model.
     pub fn with_device(mut self, device: DeviceParams) -> Self {
         self.device = device;
-        self.rates = OutOfStepRates::from_noise_model(
-            &rtm_model::shift::NoiseModel::from_params(&device),
-        );
+        self.rates =
+            OutOfStepRates::from_noise_model(&rtm_model::shift::NoiseModel::from_params(&device));
         self
     }
 
@@ -227,7 +226,9 @@ mod tests {
     fn builder_rejects_bad_combinations() {
         assert!(RtmConfig::paper_default().with_geometry(10, 3).is_err());
         // Lseg = 2 cannot carry SECDED.
-        let narrow = RtmConfig::paper_default().with_geometry(64, 32).unwrap_err();
+        let narrow = RtmConfig::paper_default()
+            .with_geometry(64, 32)
+            .unwrap_err();
         assert!(matches!(narrow, ConfigError::Layout(_)));
     }
 

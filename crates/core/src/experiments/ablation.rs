@@ -119,11 +119,8 @@ pub fn strength_sweep(stripe_intensity: f64) -> Vec<StrengthRow> {
         .map(|m| {
             let kind = ProtectionKind::Correcting { m };
             let layout = PeccLayout::new(geometry, kind).expect("strength fits Lseg 16");
-            let report = ReliabilityReport::analytic(
-                kind,
-                &ShiftMix::uniform(1..=7),
-                stripe_intensity,
-            );
+            let report =
+                ReliabilityReport::analytic(kind, &ShiftMix::uniform(1..=7), stripe_intensity);
             StrengthRow {
                 m,
                 due_mttf_secs: report.due_mttf().as_secs(),
@@ -454,7 +451,10 @@ mod tests {
     fn render_contains_all_seven_sections() {
         let text = render_ablations(50_000, 3, 5.12e9);
         for i in 1..=7 {
-            assert!(text.contains(&format!("Ablation {i}")), "missing section {i}");
+            assert!(
+                text.contains(&format!("Ablation {i}")),
+                "missing section {i}"
+            );
         }
         assert!(text.contains("paper: 0.17"));
     }

@@ -102,11 +102,7 @@ impl Table3 {
             "latency (cycles)".to_string(),
         ]];
         for (interval, seq, lat) in &self.sequence_rows {
-            let seq_s = seq
-                .iter()
-                .map(u32::to_string)
-                .collect::<Vec<_>>()
-                .join(",");
+            let seq_s = seq.iter().map(u32::to_string).collect::<Vec<_>>().join(",");
             rows.push(vec![interval.to_string(), seq_s, lat.to_string()]);
         }
         out.push_str("\nTable 3(b): safe shift sequences for a 7-step request\n\n");
@@ -136,10 +132,7 @@ pub fn table5_experiment() -> Table5 {
         .storage_overhead();
     Table5 {
         rows: ProtectionOverhead::all(),
-        computed_cell_overhead: [
-            ("p-ECC".to_string(), pecc),
-            ("p-ECC-O".to_string(), pecc_o),
-        ],
+        computed_cell_overhead: [("p-ECC".to_string(), pecc), ("p-ECC-O".to_string(), pecc_o)],
     }
 }
 
@@ -221,9 +214,8 @@ pub fn figure13_experiment() -> Vec<Figure13Row> {
         .iter()
         .map(|&(segments, lseg)| {
             let data = segments * lseg;
-            let baseline =
-                config_area_per_bit(&model, data, segments, ProtectionKind::None)
-                    .expect("baseline always fits");
+            let baseline = config_area_per_bit(&model, data, segments, ProtectionKind::None)
+                .expect("baseline always fits");
             Figure13Row {
                 config: format!("{segments}x{lseg}"),
                 data_bits: data,

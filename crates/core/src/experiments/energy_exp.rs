@@ -71,10 +71,7 @@ fn energy_figure(
 /// The paper's Fig. 17/18 headline deltas: dynamic-energy overhead of
 /// each protected design relative to the unprotected racetrack LLC,
 /// and total-energy reduction versus SRAM.
-pub fn energy_summary(
-    fig17: &NormalisedFigure,
-    fig18: &NormalisedFigure,
-) -> BTreeMap<String, f64> {
+pub fn energy_summary(fig17: &NormalisedFigure, fig18: &NormalisedFigure) -> BTreeMap<String, f64> {
     let mut out = BTreeMap::new();
     if let Some(base) = fig17.mean_of("RM w/o p-ECC") {
         for label in ["RM p-ECC-O", "RM p-ECC-S worst", "RM p-ECC-S adaptive"] {

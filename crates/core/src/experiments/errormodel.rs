@@ -77,9 +77,7 @@ pub struct Table2 {
 /// Regenerates Table 2 from both the calibration and the physics model.
 pub fn table2_experiment() -> Table2 {
     let paper = OutOfStepRates::paper_calibration();
-    let model = OutOfStepRates::from_noise_model(&NoiseModel::from_params(
-        &DeviceParams::table1(),
-    ));
+    let model = OutOfStepRates::from_noise_model(&NoiseModel::from_params(&DeviceParams::table1()));
     let rows = (1..=MAX_TABULATED_DISTANCE)
         .map(|d| Table2Row {
             distance: d,
@@ -134,7 +132,11 @@ mod tests {
         assert_eq!(t.rows.len(), 7);
         for r in &t.rows {
             let ratio = r.model_k1 / r.paper_k1;
-            assert!((0.4..2.5).contains(&ratio), "d={}: ratio {ratio}", r.distance);
+            assert!(
+                (0.4..2.5).contains(&ratio),
+                "d={}: ratio {ratio}",
+                r.distance
+            );
             assert!(r.k3 < r.paper_k2);
         }
     }

@@ -26,26 +26,9 @@ mod sweep;
 
 pub use sweep::{RtVariant, SimSweep, SweepSettings};
 
-/// Serialises rows of cells as RFC-4180-style CSV (quotes doubled,
-/// cells containing commas/quotes/newlines quoted).
-pub fn to_csv(rows: &[Vec<String>]) -> String {
-    let mut out = String::new();
-    for row in rows {
-        let line: Vec<String> = row
-            .iter()
-            .map(|cell| {
-                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
-                    format!("\"{}\"", cell.replace('"', "\"\""))
-                } else {
-                    cell.clone()
-                }
-            })
-            .collect();
-        out.push_str(&line.join(","));
-        out.push('\n');
-    }
-    out
-}
+// The CSV serialiser lives in rtm-obs (its exporters need it too);
+// re-exported here so every experiment driver keeps one call site.
+pub use rtm_obs::export::to_csv;
 
 /// Renders rows of pre-formatted cells as an aligned text table.
 ///

@@ -110,7 +110,10 @@ fn fig14_variants() -> [RtVariant; 4] {
 /// and the three protected variants).
 pub fn figure14_from(sweep: &SimSweep, settings: &SweepSettings) -> NormalisedFigure {
     let variants = fig14_variants();
-    let labels: Vec<String> = variants[1..].iter().map(|v| v.label().to_string()).collect();
+    let labels: Vec<String> = variants[1..]
+        .iter()
+        .map(|v| v.label().to_string())
+        .collect();
     let rows = settings
         .profiles()
         .iter()
@@ -168,8 +171,7 @@ pub fn figure15_experiment(interval_cycles: u64) -> Vec<Figure15Row> {
                     rtm_controller::safety::PAPER_RELIABILITY_TARGET,
                     kind.strength(),
                 );
-                let mut ctl =
-                    ShiftController::with_parts(kind, policy, timing, budget, max_d);
+                let mut ctl = ShiftController::with_parts(kind, policy, timing, budget, max_d);
                 let base = {
                     let bare = ShiftController::with_parts(
                         ProtectionKind::None,
@@ -193,8 +195,7 @@ pub fn figure15_experiment(interval_cycles: u64) -> Vec<Figure15Row> {
             };
             Figure15Row {
                 config: format!("{segments}x{lseg}"),
-                pecc_s_adaptive: fits
-                    .then(|| row(ShiftPolicy::Adaptive, ProtectionKind::SECDED)),
+                pecc_s_adaptive: fits.then(|| row(ShiftPolicy::Adaptive, ProtectionKind::SECDED)),
                 pecc_o: fits.then(|| row(ShiftPolicy::StepByStep, ProtectionKind::SECDED_O)),
             }
         })
@@ -209,8 +210,10 @@ pub fn render_figure15(rows: &[Figure15Row]) -> String {
         "p-ECC-O".to_string(),
     ]];
     for r in rows {
-        let opt =
-            |v: &Option<f64>| v.map(|x| format!("{x:.2}")).unwrap_or_else(|| "-".to_string());
+        let opt = |v: &Option<f64>| {
+            v.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "-".to_string())
+        };
         table.push(vec![
             r.config.clone(),
             opt(&r.pecc_s_adaptive),
@@ -335,7 +338,10 @@ mod tests {
         // Abstract anchors: adaptive ≈ 0.2 %, worst ≈ 0.5 %, p-ECC-O ≈ 2 %.
         let adaptive = overheads["RM p-ECC-S adaptive"];
         let o = overheads["RM p-ECC-O"];
-        assert!((0.0..0.05).contains(&adaptive), "adaptive overhead {adaptive}");
+        assert!(
+            (0.0..0.05).contains(&adaptive),
+            "adaptive overhead {adaptive}"
+        );
         assert!(o >= adaptive, "O {o} vs adaptive {adaptive}");
         assert!(o < 0.20, "p-ECC-O overhead {o}");
     }

@@ -94,8 +94,7 @@ fn mttf_figure(
     variants: &[RtVariant],
     metric: &'static str,
 ) -> MttfFigure {
-    let workloads: Vec<&'static str> =
-        settings.profiles().iter().map(|p| p.name).collect();
+    let workloads: Vec<&'static str> = settings.profiles().iter().map(|p| p.name).collect();
     let series = variants
         .iter()
         .map(|v| {
@@ -143,7 +142,10 @@ impl MttfFigure {
         }
         rows.push(row);
         let fig = if self.metric == "SDC" { "10" } else { "11" };
-        let mut out = format!("Figure {fig}: {} MTTF under different protection\n\n", self.metric);
+        let mut out = format!(
+            "Figure {fig}: {} MTTF under different protection\n\n",
+            self.metric
+        );
         out.push_str(&render_table(&rows));
         out
     }
@@ -245,8 +247,7 @@ pub fn render_figure12(rows: &[Figure12Row]) -> String {
             opt(&r.pecc_o),
         ]);
     }
-    let mut out =
-        String::from("Figure 12: DUE MTTF sensitivity across segment configurations\n\n");
+    let mut out = String::from("Figure 12: DUE MTTF sensitivity across segment configurations\n\n");
     out.push_str(&render_table(&table));
     out
 }
@@ -311,7 +312,10 @@ mod tests {
         let secded = by_label["SECDED p-ECC"].as_secs();
         assert!(base < 1.0, "baseline {base}");
         assert!(sed > base * 1e3, "sed {sed}");
-        assert!(secded > 1000.0 * rtm_util::units::SECONDS_PER_YEAR, "secded {secded}");
+        assert!(
+            secded > 1000.0 * rtm_util::units::SECONDS_PER_YEAR,
+            "secded {secded}"
+        );
     }
 
     #[test]

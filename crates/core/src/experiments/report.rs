@@ -1,9 +1,9 @@
 //! A self-contained paper-vs-measured markdown report — the live
 //! counterpart of the repository's EXPERIMENTS.md.
 
-use super::performance::{protection_overhead_summary, figure14_from, figure16_from};
-use super::reliability_exp::{figure10_from, figure11_from};
 use super::energy_exp::{energy_summary, figure17_from, figure18_from};
+use super::performance::{figure14_from, figure16_from, protection_overhead_summary};
+use super::reliability_exp::{figure10_from, figure11_from};
 use super::sweep::{RtVariant, SimSweep, SweepSettings};
 use rtm_mem::hierarchy::LlcChoice;
 use rtm_util::units::format_mttf;
@@ -168,7 +168,11 @@ mod tests {
         let report = live_report(&s);
         assert_eq!(report.claims.len(), 8);
         for c in &report.claims {
-            assert!(c.holds, "claim failed: {} (measured {})", c.what, c.measured);
+            assert!(
+                c.holds,
+                "claim failed: {} (measured {})",
+                c.what, c.measured
+            );
         }
         assert_eq!(report.pass_rate(), 1.0);
         let md = report.to_markdown();

@@ -118,47 +118,71 @@ pub struct SimSweep {
     pub by_choice: BTreeMap<&'static str, BTreeMap<String, SimResult>>,
     /// Per-workload results for racetrack variants (Figs. 10/11/14).
     pub by_variant: BTreeMap<&'static str, BTreeMap<String, SimResult>>,
+    /// Copy of the global metrics registry taken when the sweep
+    /// finished (empty unless observability was switched on).
+    pub obs: rtm_obs::metrics::RegistrySnapshot,
 }
 
 impl SimSweep {
     /// Runs every workload against the named LLC choices.
     pub fn run_choices(settings: &SweepSettings, choices: &[LlcChoice]) -> Self {
         let mut sweep = Self::default();
-        for p in settings.profiles() {
+        let profiles = settings.profiles();
+        let progress = rtm_obs::timer::Progress::new(
+            "sweep(choices)",
+            profiles.len() as u64 * choices.len() as u64,
+            "cells",
+        );
+        for p in profiles {
             let mut per = BTreeMap::new();
             for &c in choices {
                 let mut sys = Hierarchy::new(c);
-                let mut gen =
-                    TraceGenerator::new(p, rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)));
+                let mut gen = TraceGenerator::new(
+                    p,
+                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+                );
                 per.insert(c.to_string(), sys.run(&mut gen, settings.accesses));
+                progress.tick(1);
             }
             sweep.by_choice.insert(p.name, per);
         }
+        progress.finish();
+        sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
 
     /// Runs every workload against racetrack protection variants.
     pub fn run_variants(settings: &SweepSettings, variants: &[RtVariant]) -> Self {
         let mut sweep = Self::default();
-        for p in settings.profiles() {
+        let profiles = settings.profiles();
+        let progress = rtm_obs::timer::Progress::new(
+            "sweep(variants)",
+            profiles.len() as u64 * variants.len() as u64,
+            "cells",
+        );
+        for p in profiles {
             let mut per = BTreeMap::new();
             for &v in variants {
                 let (kind, policy) = v.parts();
                 let mut sys = Hierarchy::with_racetrack(kind, policy);
-                let mut gen =
-                    TraceGenerator::new(p, rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)));
+                let mut gen = TraceGenerator::new(
+                    p,
+                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+                );
                 per.insert(v.label().to_string(), sys.run(&mut gen, settings.accesses));
+                progress.tick(1);
             }
             sweep.by_variant.insert(p.name, per);
         }
+        progress.finish();
+        sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
 }
 
 fn seed_of(name: &str) -> u64 {
-    name.bytes().fold(0u64, |acc, b| {
-        acc.wrapping_mul(131).wrapping_add(b as u64)
-    })
+    name.bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
 }
 
 #[cfg(test)]
@@ -168,7 +192,8 @@ mod tests {
     #[test]
     fn quick_sweep_covers_requested_matrix() {
         let s = SweepSettings::quick();
-        let sweep = SimSweep::run_choices(&s, &[LlcChoice::SramBaseline, LlcChoice::RacetrackIdeal]);
+        let sweep =
+            SimSweep::run_choices(&s, &[LlcChoice::SramBaseline, LlcChoice::RacetrackIdeal]);
         assert_eq!(sweep.by_choice.len(), 3);
         for per in sweep.by_choice.values() {
             assert_eq!(per.len(), 2);

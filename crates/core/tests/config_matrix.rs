@@ -25,7 +25,9 @@ fn policies() -> Vec<ShiftPolicy> {
     vec![
         ShiftPolicy::Unconstrained,
         ShiftPolicy::StepByStep,
-        ShiftPolicy::FixedSafe { worst_intensity_hz: 83_000_000 },
+        ShiftPolicy::FixedSafe {
+            worst_intensity_hz: 83_000_000,
+        },
         ShiftPolicy::Adaptive,
     ]
 }
@@ -100,8 +102,7 @@ fn reliability_targets_shape_safe_distances() {
     // Tighter targets must never allow longer safe distances.
     let mut prev = u32::MAX;
     for years in [0.1, 10.0, 1000.0, 100_000.0] {
-        let config = RtmConfig::paper_default()
-            .with_reliability_target(Seconds::from_years(years));
+        let config = RtmConfig::paper_default().with_reliability_target(Seconds::from_years(years));
         let budget = rtm_controller::safety::SafetyBudget::new(
             config.rates().clone(),
             Seconds::from_years(years),

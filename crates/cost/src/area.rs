@@ -39,12 +39,7 @@ impl AreaModel {
     }
 
     /// Total area of a stripe with the given domain and port counts.
-    pub fn stripe_area(
-        &self,
-        total_domains: usize,
-        read_ports: usize,
-        rw_ports: usize,
-    ) -> SquareF {
+    pub fn stripe_area(&self, total_domains: usize, read_ports: usize, rw_ports: usize) -> SquareF {
         self.domain_area * total_domains as f64
             + self.read_port_area * read_ports as f64
             + self.rw_port_area * rw_ports as f64
@@ -148,10 +143,7 @@ mod tests {
         let m = AreaModel::paper();
         let g = StripeGeometry::new(64, 1).unwrap();
         let base = (m.domain_area * g.total_len() as f64 + m.read_port_area * 1.0) / 64.0;
-        assert!(
-            (7.5..9.5).contains(&base.value()),
-            "base area {base}"
-        );
+        assert!((7.5..9.5).contains(&base.value()), "base area {base}");
     }
 
     #[test]
@@ -200,7 +192,10 @@ mod tests {
         // SECDED protection in a single-digit-to-~20 % band.
         let m = AreaModel::paper();
         let area_oh = m.protection_overhead(&pecc) * 100.0;
-        assert!((5.0..25.0).contains(&area_oh), "area overhead {area_oh:.1}%");
+        assert!(
+            (5.0..25.0).contains(&area_oh),
+            "area overhead {area_oh:.1}%"
+        );
     }
 
     #[test]

@@ -120,16 +120,15 @@ mod tests {
     #[test]
     fn protection_adds_check_energy() {
         let bare = LlcEnergyModel::new(LlcDesign::racetrack(), None, 512);
-        let prot = LlcEnergyModel::new(
-            LlcDesign::racetrack(),
-            Some(Scheme::PeccSAdaptive),
-            512,
-        );
+        let prot = LlcEnergyModel::new(LlcDesign::racetrack(), Some(Scheme::PeccSAdaptive), 512);
         let a = activity();
         let extra = prot.dynamic_energy(&a).value() - bare.dynamic_energy(&a).value();
         // 1500 checks × 512 stripes × 3.86 pJ plus two corrections.
         let want = 1500.0 * 512.0 * 3.86 + 2.0 * 6.19;
-        assert!((extra - want).abs() / want < 1e-9, "extra {extra}, want {want}");
+        assert!(
+            (extra - want).abs() / want < 1e-9,
+            "extra {extra}, want {want}"
+        );
     }
 
     #[test]

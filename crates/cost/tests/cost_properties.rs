@@ -1,60 +1,64 @@
 //! Property tests for the area and energy cost models.
 
-use proptest::prelude::*;
 use rtm_cost::area::AreaModel;
 use rtm_cost::energy::{LlcActivity, LlcEnergyModel};
 use rtm_cost::overhead::Scheme;
 use rtm_cost::technology::LlcDesign;
 use rtm_pecc::layout::{PeccLayout, ProtectionKind};
 use rtm_track::geometry::StripeGeometry;
+use rtm_util::check::{run_cases, Gen};
 use rtm_util::units::Seconds;
 
-proptest! {
-    /// Area grows monotonically with every component count.
-    #[test]
-    fn stripe_area_monotone(
-        domains in 1usize..256,
-        r in 0usize..16,
-        rw in 0usize..16,
-    ) {
+/// Area grows monotonically with every component count.
+#[test]
+fn stripe_area_monotone() {
+    run_cases(256, |g: &mut Gen| {
+        let domains = g.usize_in(1, 255);
+        let r = g.usize_in(0, 15);
+        let rw = g.usize_in(0, 15);
         let m = AreaModel::paper();
         let base = m.stripe_area(domains, r, rw).value();
-        prop_assert!(m.stripe_area(domains + 1, r, rw).value() > base);
-        prop_assert!(m.stripe_area(domains, r + 1, rw).value() > base);
-        prop_assert!(m.stripe_area(domains, r, rw + 1).value() > base);
-    }
+        assert!(m.stripe_area(domains + 1, r, rw).value() > base);
+        assert!(m.stripe_area(domains, r + 1, rw).value() > base);
+        assert!(m.stripe_area(domains, r, rw + 1).value() > base);
+    });
+}
 
-    /// Protection never shrinks area, for every valid configuration.
-    #[test]
-    fn protection_costs_area(ports_pow in 0u32..4, len_pow in 3u32..7) {
-        let ports = 1usize << ports_pow;
-        let data = 1usize << len_pow;
-        prop_assume!(data.is_multiple_of(ports) && data / ports > 2);
+/// Protection never shrinks area, for every valid configuration.
+#[test]
+fn protection_costs_area() {
+    run_cases(128, |g: &mut Gen| {
+        let ports = 1usize << g.u32_in(0, 3);
+        let data = 1usize << g.u32_in(3, 6);
+        if !data.is_multiple_of(ports) || data / ports <= 2 {
+            return;
+        }
         let geom = StripeGeometry::new(data, ports).expect("valid");
         let m = AreaModel::paper();
         let bare = m.area_per_bit(&geom, 0, 0).value();
-        for kind in [ProtectionKind::Sed, ProtectionKind::SECDED, ProtectionKind::SECDED_O] {
+        for kind in [
+            ProtectionKind::Sed,
+            ProtectionKind::SECDED,
+            ProtectionKind::SECDED_O,
+        ] {
             if let Ok(layout) = PeccLayout::new(geom, kind) {
                 let prot = m.protected_area_per_bit(&layout).value();
-                prop_assert!(prot > bare, "{kind:?}: {prot} vs {bare}");
+                assert!(prot > bare, "{kind:?}: {prot} vs {bare}");
             }
         }
-    }
+    });
+}
 
-    /// Energy is linear in activity: doubling every count doubles the
-    /// dynamic energy.
-    #[test]
-    fn dynamic_energy_is_linear(
-        reads in 0u64..100_000,
-        writes in 0u64..100_000,
-        steps in 0u64..100_000,
-        checks in 0u64..100_000,
-    ) {
-        let m = LlcEnergyModel::new(
-            LlcDesign::racetrack(),
-            Some(Scheme::PeccSAdaptive),
-            512,
-        );
+/// Energy is linear in activity: doubling every count doubles the
+/// dynamic energy.
+#[test]
+fn dynamic_energy_is_linear() {
+    run_cases(256, |g: &mut Gen| {
+        let reads = g.u64_in(0, 99_999);
+        let writes = g.u64_in(0, 99_999);
+        let steps = g.u64_in(0, 99_999);
+        let checks = g.u64_in(0, 99_999);
+        let m = LlcEnergyModel::new(LlcDesign::racetrack(), Some(Scheme::PeccSAdaptive), 512);
         let a = LlcActivity {
             reads,
             writes,
@@ -71,12 +75,15 @@ proptest! {
         doubled.pecc_checks *= 2;
         let e1 = m.dynamic_energy(&a).value();
         let e2 = m.dynamic_energy(&doubled).value();
-        prop_assert!((e2 - 2.0 * e1).abs() <= 2.0 * e1 * 1e-12 + 1e-9);
-    }
+        assert!((e2 - 2.0 * e1).abs() <= 2.0 * e1 * 1e-12 + 1e-9);
+    });
+}
 
-    /// Total energy decomposes exactly into dynamic + leakage.
-    #[test]
-    fn total_is_dynamic_plus_leakage(duration_ms in 0.0f64..100.0) {
+/// Total energy decomposes exactly into dynamic + leakage.
+#[test]
+fn total_is_dynamic_plus_leakage() {
+    run_cases(256, |g: &mut Gen| {
+        let duration_ms = g.f64_in(0.0, 100.0);
         let m = LlcEnergyModel::new(LlcDesign::sram(), None, 1);
         let a = LlcActivity {
             reads: 1000,
@@ -89,17 +96,20 @@ proptest! {
         };
         let total = m.total_energy(&a).value();
         let parts = m.dynamic_energy(&a).value() + m.leakage_energy(&a).value();
-        prop_assert!((total - parts).abs() < 1e-6);
-    }
+        assert!((total - parts).abs() < 1e-6);
+    });
+}
 
-    /// Stronger codes never have fewer extra domains or ports.
-    #[test]
-    fn layout_monotone_in_strength(m in 1u32..5) {
+/// Stronger codes never have fewer extra domains or ports.
+#[test]
+fn layout_monotone_in_strength() {
+    run_cases(16, |g: &mut Gen| {
+        let m = g.u32_in(1, 4);
         let geom = StripeGeometry::new(64, 4).expect("valid");
         let a = PeccLayout::new(geom, ProtectionKind::Correcting { m }).expect("fits");
         let b = PeccLayout::new(geom, ProtectionKind::Correcting { m: m + 1 }).expect("fits");
-        prop_assert!(b.extra_domains() > a.extra_domains());
-        prop_assert!(b.extra_read_ports > a.extra_read_ports);
-        prop_assert!(b.storage_overhead() > a.storage_overhead());
-    }
+        assert!(b.extra_domains() > a.extra_domains());
+        assert!(b.extra_read_ports > a.extra_read_ports);
+        assert!(b.storage_overhead() > a.storage_overhead());
+    });
 }

@@ -259,7 +259,10 @@ mod tests {
         c.access(a, AccessKind::Write);
         c.access(b, AccessKind::Read);
         match c.access(d, AccessKind::Read) {
-            AccessResult::Miss { writeback: Some(wb), .. } => assert_eq!(wb, a),
+            AccessResult::Miss {
+                writeback: Some(wb),
+                ..
+            } => assert_eq!(wb, a),
             other => panic!("expected writeback of {a:#x}, got {other:?}"),
         }
         assert_eq!(c.stats().writebacks, 1);

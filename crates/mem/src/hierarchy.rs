@@ -273,21 +273,27 @@ impl Hierarchy {
         let mut latency = self.config.l1.access_cycles;
         let l1r = self.l1[core].access(a.addr, kind);
         if !l1r.is_hit() {
+            rtm_obs::counter_add("hier.l1_misses", 1);
             latency += self.config.l2.access_cycles;
             let l2r = self.l2.access(a.addr, kind);
             if !l2r.is_hit() {
+                rtm_obs::counter_add("hier.l2_misses", 1);
                 let llc_resp = self.llc.access(a.addr, kind, self.cycles);
                 latency += llc_resp.latency_cycles;
                 if !llc_resp.hit {
                     latency += self.config.memory.access_cycles;
                     self.dram_accesses += 1;
+                    rtm_obs::counter_add("hier.dram_accesses", 1);
                 }
                 if llc_resp.writeback {
                     self.dram_accesses += 1;
+                    rtm_obs::counter_add("hier.dram_accesses", 1);
                 }
             }
         }
         self.cycles += latency;
+        rtm_obs::counter_add("hier.accesses", 1);
+        rtm_obs::observe("hier.access_latency_cycles", latency as f64);
         latency
     }
 
@@ -313,7 +319,7 @@ impl Hierarchy {
     pub fn result(&self) -> SimResult {
         let duration = Seconds(self.cycles as f64 / self.config.clock_hz);
         let llc = self.llc.stats();
-        SimResult {
+        let result = SimResult {
             choice: self.choice,
             accesses: self.accesses,
             instructions: self.instructions,
@@ -325,7 +331,15 @@ impl Hierarchy {
             activity: self.llc.activity(duration),
             dram_accesses: self.dram_accesses,
             shift_cycles: llc.shift_cycles,
+        };
+        let reg = rtm_obs::global().registry();
+        if reg.enabled() {
+            reg.gauge_set("hier.cycles", result.cycles as f64);
+            reg.gauge_set("energy.llc_dynamic_pj", result.llc_dynamic_energy().value());
+            reg.gauge_set("energy.llc_total_pj", result.llc_total_energy().value());
+            reg.gauge_set("energy.system_pj", result.system_energy().value());
         }
+        result
     }
 }
 

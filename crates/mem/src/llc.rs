@@ -30,6 +30,28 @@ pub struct LlcStats {
     pub expected_sdcs: f64,
 }
 
+impl LlcStats {
+    /// This stats block as an [`rtm_obs`] registry snapshot, under
+    /// `llc.*` metric names (counts as counters, accumulated
+    /// probabilities as gauges).
+    pub fn to_metrics(&self) -> rtm_obs::metrics::RegistrySnapshot {
+        let reg = rtm_obs::metrics::MetricsRegistry::new();
+        reg.set_enabled(true);
+        reg.counter_add("llc.hits", self.cache.hits);
+        reg.counter_add("llc.misses", self.cache.misses);
+        reg.counter_add("llc.writebacks", self.cache.writebacks);
+        reg.counter_add("llc.reads", self.cache.reads);
+        reg.counter_add("llc.writes", self.cache.writes);
+        reg.counter_add("llc.shift_ops", self.shift_ops);
+        reg.counter_add("llc.shift_steps", self.shift_steps);
+        reg.counter_add("llc.shift_cycles", self.shift_cycles);
+        reg.counter_add("llc.zero_shift_accesses", self.zero_shift_accesses);
+        reg.gauge_set("llc.expected_dues", self.expected_dues);
+        reg.gauge_set("llc.expected_sdcs", self.expected_sdcs);
+        reg.snapshot()
+    }
+}
+
 /// What an LLC access cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LlcResponse {
@@ -85,7 +107,13 @@ impl LlcModel for SimpleLlc {
         LlcResponse {
             hit: r.is_hit(),
             latency_cycles: latency,
-            writeback: matches!(r, AccessResult::Miss { writeback: Some(_), .. }),
+            writeback: matches!(
+                r,
+                AccessResult::Miss {
+                    writeback: Some(_),
+                    ..
+                }
+            ),
         }
     }
 
@@ -274,6 +302,7 @@ impl RacetrackLlc {
         let current = self.heads[group];
         let latency = if target == current {
             self.zero_shift += 1;
+            rtm_obs::counter_add("llc.zero_shift_accesses", 1);
             0
         } else {
             let distance = current.abs_diff(target) as u32;
@@ -281,7 +310,11 @@ impl RacetrackLlc {
             let plan = self.controllers[bank].plan_shift(distance, now);
             self.stats_shift_ops += plan.sequence.len() as u64;
             self.stats_shift_steps += distance as u64;
-            let latency = if self.ideal_shifts { 0 } else { plan.latency.count() };
+            let latency = if self.ideal_shifts {
+                0
+            } else {
+                plan.latency.count()
+            };
             self.stats_shift_cycles += latency;
             latency
         };
@@ -299,6 +332,7 @@ impl RacetrackLlc {
                 self.stats_shift_ops += plan.sequence.len() as u64;
                 self.stats_shift_steps += distance as u64;
                 self.idle_steps += distance as u64;
+                rtm_obs::counter_add("llc.idle_steps", distance as u64);
                 self.heads[group] = rest;
             }
         }
@@ -316,11 +350,29 @@ impl LlcModel for RacetrackLlc {
             AccessKind::Read => self.design.read_cycles,
             AccessKind::Write => self.design.write_cycles,
         };
-        LlcResponse {
+        let resp = LlcResponse {
             hit: r.is_hit(),
             latency_cycles: shift_latency + array,
-            writeback: matches!(r, AccessResult::Miss { writeback: Some(_), .. }),
+            writeback: matches!(
+                r,
+                AccessResult::Miss {
+                    writeback: Some(_),
+                    ..
+                }
+            ),
+        };
+        let reg = rtm_obs::global().registry();
+        if reg.enabled() {
+            reg.counter_add("llc.accesses", 1);
+            if !resp.hit {
+                reg.counter_add("llc.misses", 1);
+            }
+            if resp.writeback {
+                reg.counter_add("llc.writebacks", 1);
+            }
+            reg.observe("llc.access_latency_cycles", resp.latency_cycles as f64);
         }
+        resp
     }
 
     fn stats(&self) -> LlcStats {
@@ -493,10 +545,8 @@ mod tests {
         // back-to-back shifts (short intervals, conservative sequences)
         // while per-bank adapters each see 1/N of the traffic and can
         // afford faster sequences at the same reliability target.
-        let mut single =
-            RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 1);
-        let mut banked =
-            RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 8);
+        let mut single = RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 1);
+        let mut banked = RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 8);
         assert_eq!(banked.banks(), 8);
         let stride = single.cache.sets() * 64;
         let mut t = 0u64;

@@ -274,7 +274,10 @@ mod tests {
         // the second access's shift.
         let mut outcomes = vec![rtm_model::shift::ShiftOutcome::Pinned { offset: 0 }; 8];
         outcomes.push(rtm_model::shift::ShiftOutcome::Pinned { offset: 1 });
-        let mut c = small(ProtectionKind::None, Box::new(ScriptedFaultModel::new(outcomes)));
+        let mut c = small(
+            ProtectionKind::None,
+            Box::new(ScriptedFaultModel::new(outcomes)),
+        );
         c.access(0x40, AccessKind::Write, Some(&bits(0xFF)));
         let stride = 16 * 64;
         c.access(0x40 + stride, AccessKind::Write, Some(&bits(0x00)));

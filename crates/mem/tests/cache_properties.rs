@@ -1,22 +1,20 @@
 //! Property tests for the cache simulator and racetrack LLC.
+//!
+//! Each racetrack case allocates the full 128 MB LLC's metadata; the
+//! case counts are kept modest so the suite stays fast in debug.
 
-use proptest::prelude::*;
 use rtm_controller::controller::ShiftPolicy;
 use rtm_mem::cache::{AccessKind, Cache};
 use rtm_mem::llc::{LlcModel, RacetrackLlc};
 use rtm_pecc::layout::ProtectionKind;
+use rtm_util::check::{run_cases, Gen};
 
-proptest! {
-    // Each racetrack case allocates the full 128 MB LLC's metadata;
-    // keep the case count modest so the suite stays fast in debug.
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// A cache never evicts anything it could avoid: the working set
-    /// fits -> every re-access hits (no phantom invalidations).
-    #[test]
-    fn small_working_set_never_misses_twice(
-        lines in proptest::collection::vec(0u64..8, 2..64),
-    ) {
+/// A cache never evicts anything it could avoid: the working set
+/// fits -> every re-access hits (no phantom invalidations).
+#[test]
+fn small_working_set_never_misses_twice() {
+    run_cases(24, |g: &mut Gen| {
+        let lines = g.vec_of(2, 63, |g| g.u64_in(0, 7));
         // 8 distinct lines fit the 8-line fully-covered region of a
         // 4-set x 2-way cache only if conflict-free; use a 2 KiB cache
         // with 8 sets x 4 ways so 8 lines always fit.
@@ -26,26 +24,33 @@ proptest! {
             let addr = l * 64;
             let hit = c.access(addr, AccessKind::Read).is_hit();
             if seen.contains(&l) {
-                prop_assert!(hit, "line {l} evicted despite fitting");
+                assert!(hit, "line {l} evicted despite fitting");
             }
             seen.insert(l);
         }
-    }
+    });
+}
 
-    /// Writeback addresses always refer to previously written lines.
-    #[test]
-    fn writebacks_are_real_dirty_lines(
-        ops in proptest::collection::vec((0u64..256, any::<bool>()), 1..200),
-    ) {
+/// Writeback addresses always refer to previously written lines.
+#[test]
+fn writebacks_are_real_dirty_lines() {
+    run_cases(24, |g: &mut Gen| {
+        let ops = g.vec_of(1, 199, |g| (g.u64_in(0, 255), g.bool()));
         let mut c = Cache::new(1024, 2, 64);
         let mut dirty = std::collections::HashSet::new();
         for &(l, w) in &ops {
             let addr = l * 64;
-            let kind = if w { AccessKind::Write } else { AccessKind::Read };
-            if let rtm_mem::cache::AccessResult::Miss { writeback: Some(wb), .. } =
-                c.access(addr, kind)
+            let kind = if w {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            if let rtm_mem::cache::AccessResult::Miss {
+                writeback: Some(wb),
+                ..
+            } = c.access(addr, kind)
             {
-                prop_assert!(dirty.remove(&wb), "writeback of clean line {wb:#x}");
+                assert!(dirty.remove(&wb), "writeback of clean line {wb:#x}");
             }
             if w {
                 dirty.insert(addr & !63);
@@ -53,13 +58,14 @@ proptest! {
                 // read of a clean line leaves it clean
             }
         }
-    }
+    });
+}
 
-    /// Racetrack head positions always stay within the geometry.
-    #[test]
-    fn heads_stay_in_range(
-        lines in proptest::collection::vec(0u64..100_000, 1..200),
-    ) {
+/// Racetrack head positions always stay within the geometry.
+#[test]
+fn heads_stay_in_range() {
+    run_cases(24, |g: &mut Gen| {
+        let lines = g.vec_of(1, 199, |g| g.u64_in(0, 99_999));
         let mut llc = RacetrackLlc::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
         let max = llc.geometry().max_shift() as u64;
         let mut t = 0;
@@ -70,14 +76,17 @@ proptest! {
         // Every group's believed head must be a legal position; verify
         // via stats consistency (steps are bounded by ops x max shift).
         let s = llc.stats();
-        prop_assert!(s.shift_steps <= s.shift_ops.max(1) * max.max(1) * 8);
-        prop_assert!(s.zero_shift_accesses + s.shift_ops >= 1);
-    }
+        assert!(s.shift_steps <= s.shift_ops.max(1) * max.max(1) * 8);
+        assert!(s.zero_shift_accesses + s.shift_ops >= 1);
+    });
+}
 
-    /// LLC latency is deterministic per state: re-running the same
-    /// trace yields identical statistics.
-    #[test]
-    fn llc_is_deterministic(lines in proptest::collection::vec(0u64..10_000, 1..100)) {
+/// LLC latency is deterministic per state: re-running the same
+/// trace yields identical statistics.
+#[test]
+fn llc_is_deterministic() {
+    run_cases(24, |g: &mut Gen| {
+        let lines = g.vec_of(1, 99, |g| g.u64_in(0, 9_999));
         let run = || {
             let mut llc = RacetrackLlc::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
             let mut t = 0;
@@ -90,7 +99,7 @@ proptest! {
         };
         let (a_lat, a_stats) = run();
         let (b_lat, b_stats) = run();
-        prop_assert_eq!(a_lat, b_lat);
-        prop_assert_eq!(a_stats, b_stats);
-    }
+        assert_eq!(a_lat, b_lat);
+        assert_eq!(a_stats, b_stats);
+    });
 }

@@ -66,7 +66,8 @@ pub fn transit_times(
     // Flat region: T_flat = α L / ((2α − β) u), so T ∝ L / u with u ∝ J.
     // Normalise against the nominal sample at the nominal drive.
     let flat_nominal_ns = params.step_time_ns * (1.0 - NOTCH_TIME_SHARE);
-    let flat_ns = flat_nominal_ns * (sample.flat_width_nm / nominal.flat_width_nm)
+    let flat_ns = flat_nominal_ns
+        * (sample.flat_width_nm / nominal.flat_width_nm)
         * (params.drive_ratio / drive_ratio);
 
     // Notch region: T_notch = τ ln(1 + d/δl). τ ∝ V (deeper pinning holds
@@ -78,9 +79,8 @@ pub fn transit_times(
     // ln(1 + d/δl) with δl ∝ (J/J₀ − 1); normalised to 1 at the nominal
     // drive ratio.
     let escape = |ratio: f64| (1.0 + 1.0 / (ratio - 1.0)).ln();
-    let notch_ns =
-        notch_nominal_ns * depth_factor * width_factor * escape(drive_ratio)
-            / escape(params.drive_ratio);
+    let notch_ns = notch_nominal_ns * depth_factor * width_factor * escape(drive_ratio)
+        / escape(params.drive_ratio);
 
     TransitTimes { flat_ns, notch_ns }
 }
@@ -161,7 +161,10 @@ mod tests {
         let (p, s) = nominal();
         let near = transit_times(&p, &s, 1.01).notch_ns;
         let at2 = transit_times(&p, &s, 2.0).notch_ns;
-        assert!(near > 4.0 * at2, "near-threshold escape {near} vs nominal {at2}");
+        assert!(
+            near > 4.0 * at2,
+            "near-threshold escape {near} vs nominal {at2}"
+        );
     }
 
     #[test]

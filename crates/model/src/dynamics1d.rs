@@ -200,7 +200,10 @@ mod tests {
         assert!(v5 > 0.0);
         assert!((v10 / v5 - 2.0).abs() < 0.1, "v10/v5 = {}", v10 / v5);
         let expected = 10.0 * (1.0 + m.alpha * m.beta) / (1.0 + m.alpha * m.alpha);
-        assert!((v10 / expected - 1.0).abs() < 0.1, "v10 {v10} vs {expected}");
+        assert!(
+            (v10 / expected - 1.0).abs() < 0.1,
+            "v10 {v10} vs {expected}"
+        );
         // Near breakdown the velocity is super-linear (the 2.27 ratio
         // between u = 2 and u = 1 the asymptote cannot explain).
         let ratio_low = m.free_velocity(2.0) / m.free_velocity(1.0);

@@ -161,23 +161,33 @@ fn analytic_bin_probability(noise: &NoiseModel, fit: &GaussianFit, bin: Position
 /// # Panics
 ///
 /// Panics if `distance == 0` or `trials == 0`.
-pub fn position_pdf(
-    params: &DeviceParams,
-    distance: u32,
-    trials: u64,
-    seed: u64,
-) -> PositionPdf {
+pub fn position_pdf(params: &DeviceParams, distance: u32, trials: u64, seed: u64) -> PositionPdf {
     assert!(distance > 0, "distance must be positive");
     assert!(trials > 0, "at least one trial required");
     let mut sim = ShiftSimulator::new(*params, seed);
     let noise = *sim.noise();
 
     let mut counts = std::collections::HashMap::new();
+    let progress =
+        rtm_obs::timer::Progress::new(format!("montecarlo d={distance}"), trials, "trials");
     // The displacement distribution is fully specified by the noise
     // model; fit from its analytic moments plus an MC sanity sample.
     for _ in 0..trials {
         let outcome = sim.shift_raw(distance);
         *counts.entry(PositionBin::of(&outcome)).or_insert(0u64) += 1;
+        progress.tick(1);
+    }
+    progress.finish();
+    let reg = rtm_obs::global().registry();
+    if reg.enabled() {
+        reg.counter_add("mc.trials", trials);
+        for (bin, n) in &counts {
+            match bin {
+                PositionBin::AtStep(0) => reg.counter_add("mc.on_target", *n),
+                PositionBin::AtStep(_) => reg.counter_add("mc.out_of_step", *n),
+                PositionBin::Between(_) => reg.counter_add("mc.stop_in_middle", *n),
+            }
+        }
     }
     let fit = GaussianFit {
         mu: noise.mean_for(distance),

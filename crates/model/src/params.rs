@@ -141,7 +141,12 @@ impl DeviceParams {
             self.wall_width_rel_sigma * self.wall_width_nm,
         )
         .max(0.1);
-        let pin_depth = g(rng, self.pin_depth, self.pin_depth_rel_sigma * self.pin_depth).max(1e-3);
+        let pin_depth = g(
+            rng,
+            self.pin_depth,
+            self.pin_depth_rel_sigma * self.pin_depth,
+        )
+        .max(1e-3);
         let notch_width_nm = g(
             rng,
             self.notch_width_nm,

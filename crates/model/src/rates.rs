@@ -88,7 +88,11 @@ impl OutOfStepRates {
         } else {
             0.95
         };
-        Self { k1, k2, plus_fraction }
+        Self {
+            k1,
+            k2,
+            plus_fraction,
+        }
     }
 
     /// Probability of a ±k-step error for a single `distance`-step shift.
@@ -195,7 +199,11 @@ fn extrapolate_power_law(col: &[f64], distance: u32) -> f64 {
         .filter(|(_, &r)| r > 0.0)
         .map(|(i, &r)| ((i as f64 + 1.0).ln(), r.ln()))
         .collect();
-    let tail = if pts.len() > 3 { &pts[pts.len() - 3..] } else { &pts[..] };
+    let tail = if pts.len() > 3 {
+        &pts[pts.len() - 3..]
+    } else {
+        &pts[..]
+    };
     let last = col.last().copied().unwrap_or(0.0);
     match rtm_util::fit::linear_fit(tail) {
         Some(fit) => fit.eval((distance as f64).ln()).exp().clamp(last, 1.0),
@@ -341,9 +349,7 @@ mod tests {
     #[test]
     fn fig1_monotone_in_rate_and_intensity() {
         let i = 1e9;
-        assert!(
-            mttf_for_error_rate(1e-10, i).as_secs() > mttf_for_error_rate(1e-9, i).as_secs()
-        );
+        assert!(mttf_for_error_rate(1e-10, i).as_secs() > mttf_for_error_rate(1e-9, i).as_secs());
         assert!(
             mttf_for_error_rate(1e-10, i).as_secs()
                 > mttf_for_error_rate(1e-10, 10.0 * i).as_secs()

@@ -105,24 +105,21 @@ impl NoiseModel {
         const FLAT_SHARE: f64 = 0.65;
         const NOTCH_SHARE: f64 = 0.35;
         let flat_sigma = params.flat_width_rel_sigma_of_d * FLAT_SHARE;
-        let notch_sigma = (params.pin_depth_rel_sigma.powi(2)
-            + params.notch_width_rel_sigma.powi(2))
-        .sqrt()
-            * NOTCH_SHARE;
+        let notch_sigma =
+            (params.pin_depth_rel_sigma.powi(2) + params.notch_width_rel_sigma.powi(2)).sqrt()
+                * NOTCH_SHARE;
         let per_step_process = (flat_sigma * flat_sigma + notch_sigma * notch_sigma).sqrt();
         Self {
             sigma_fixed: params.env_velocity_rel_sigma,
             sigma_walk: DISPLACEMENT_CONVERSION * per_step_process,
-            drift_per_step: DRIFT_AT_NOMINAL
-                + DRIFT_PER_RATIO * (params.drive_ratio - 2.0),
+            drift_per_step: DRIFT_AT_NOMINAL + DRIFT_PER_RATIO * (params.drive_ratio - 2.0),
             capture_half_window: params.capture_half_window(),
         }
     }
 
     /// Standard deviation of the displacement error for an `n`-step shift.
     pub fn sigma_for(&self, n: u32) -> f64 {
-        (self.sigma_fixed * self.sigma_fixed + self.sigma_walk * self.sigma_walk * n as f64)
-            .sqrt()
+        (self.sigma_fixed * self.sigma_fixed + self.sigma_walk * self.sigma_walk * n as f64).sqrt()
     }
 
     /// Mean displacement error for an `n`-step shift.
@@ -261,8 +258,16 @@ mod tests {
     fn noise_model_matches_calibration_targets() {
         let m = model();
         // These constants anchor the Table 2 reproduction; see module doc.
-        assert!((m.sigma_fixed - 0.028).abs() < 1e-3, "sigma_f {}", m.sigma_fixed);
-        assert!((m.sigma_walk - 0.0096).abs() < 1.5e-3, "sigma_w {}", m.sigma_walk);
+        assert!(
+            (m.sigma_fixed - 0.028).abs() < 1e-3,
+            "sigma_f {}",
+            m.sigma_fixed
+        );
+        assert!(
+            (m.sigma_walk - 0.0096).abs() < 1.5e-3,
+            "sigma_w {}",
+            m.sigma_walk
+        );
         assert!(m.drift_per_step > 0.0 && m.drift_per_step < 0.01);
         assert!((m.capture_half_window - 45.0 / 390.0).abs() < 1e-9);
     }
@@ -301,10 +306,16 @@ mod tests {
     fn sts_pushes_forward() {
         let m = model();
         // Over-shoot middle becomes a +1 out-of-step error...
-        let out = m.apply_sts(ShiftOutcome::StopInMiddle { lower: 0, frac: 0.4 });
+        let out = m.apply_sts(ShiftOutcome::StopInMiddle {
+            lower: 0,
+            frac: 0.4,
+        });
         assert_eq!(out, ShiftOutcome::Pinned { offset: 1 });
         // ...while an under-shoot middle is silently repaired.
-        let fixed = m.apply_sts(ShiftOutcome::StopInMiddle { lower: -1, frac: 0.6 });
+        let fixed = m.apply_sts(ShiftOutcome::StopInMiddle {
+            lower: -1,
+            frac: 0.6,
+        });
         assert_eq!(fixed, ShiftOutcome::Pinned { offset: 0 });
         // Pinned outcomes are untouched.
         let pinned = ShiftOutcome::Pinned { offset: -2 };

@@ -143,8 +143,7 @@ mod tests {
     fn amortization_rule_of_thumb() {
         // Larger steps amortise stage-2: cycles per step must decrease.
         let t = StsTiming::paper();
-        let per_step =
-            |n: u32| t.shift_cycles(n).count() as f64 / n as f64;
+        let per_step = |n: u32| t.shift_cycles(n).count() as f64 / n as f64;
         assert!(per_step(7) < per_step(4));
         assert!(per_step(4) < per_step(1));
     }

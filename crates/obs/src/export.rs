@@ -1,0 +1,230 @@
+//! CSV and file exporters for snapshots.
+//!
+//! [`to_csv`] is the single CSV serialiser for the whole workspace;
+//! `rtm_core::experiments::to_csv` re-exports it so experiment drivers
+//! and the observability exporters cannot drift apart.
+
+use std::io;
+use std::path::Path;
+
+use crate::events::EventTraceSnapshot;
+use crate::json::Json;
+use crate::metrics::{MetricValue, RegistrySnapshot};
+
+/// Serialises rows of cells as RFC-4180-style CSV (quotes doubled,
+/// cells containing commas/quotes/newlines quoted).
+pub fn to_csv(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .map(|cell| {
+                if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                    format!("\"{}\"", cell.replace('"', "\"\""))
+                } else {
+                    cell.clone()
+                }
+            })
+            .collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:?}")
+    }
+}
+
+impl RegistrySnapshot {
+    /// Rows for CSV export: `name,type,count,sum|value,min,max,p50,p95,p99`,
+    /// header included.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![vec![
+            "name".to_string(),
+            "type".to_string(),
+            "count".to_string(),
+            "value".to_string(),
+            "min".to_string(),
+            "max".to_string(),
+            "p50".to_string(),
+            "p95".to_string(),
+            "p99".to_string(),
+        ]];
+        for m in &self.metrics {
+            let row = match &m.value {
+                MetricValue::Counter(v) => vec![
+                    m.name.clone(),
+                    "counter".into(),
+                    String::new(),
+                    v.to_string(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ],
+                MetricValue::Gauge(v) => vec![
+                    m.name.clone(),
+                    "gauge".into(),
+                    String::new(),
+                    num(*v),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                ],
+                MetricValue::Histogram(h) => vec![
+                    m.name.clone(),
+                    "histogram".into(),
+                    h.count.to_string(),
+                    num(h.sum),
+                    num(h.min),
+                    num(h.max),
+                    num(h.p50),
+                    num(h.p95),
+                    num(h.p99),
+                ],
+            };
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// CSV rendering of [`Self::rows`].
+    pub fn to_csv(&self) -> String {
+        to_csv(&self.rows())
+    }
+}
+
+impl EventTraceSnapshot {
+    /// Rows for CSV export in a wide schema (one column per possible
+    /// field, blanks where a kind has no such field), header included.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![vec![
+            "seq".to_string(),
+            "cycle".to_string(),
+            "kind".to_string(),
+            "distance".to_string(),
+            "parts".to_string(),
+            "latency_cycles".to_string(),
+            "cycles".to_string(),
+            "outcome".to_string(),
+            "k".to_string(),
+            "steps".to_string(),
+            "cap".to_string(),
+        ]];
+        use crate::events::{PeccOutcome, ShiftEvent};
+        for e in &self.events {
+            let mut row = vec![
+                e.seq.to_string(),
+                e.cycle.to_string(),
+                e.event.kind().to_string(),
+            ];
+            row.resize(11, String::new());
+            match e.event {
+                ShiftEvent::ShiftPlanned {
+                    distance,
+                    parts,
+                    latency_cycles,
+                } => {
+                    row[3] = distance.to_string();
+                    row[4] = parts.to_string();
+                    row[5] = latency_cycles.to_string();
+                }
+                ShiftEvent::StsPulse { distance, cycles } => {
+                    row[3] = distance.to_string();
+                    row[6] = cycles.to_string();
+                }
+                ShiftEvent::PeccVerdict { outcome } => match outcome {
+                    PeccOutcome::Clean => row[7] = "clean".into(),
+                    PeccOutcome::Corrected(k) => {
+                        row[7] = "corrected".into();
+                        row[8] = k.to_string();
+                    }
+                    PeccOutcome::DetectedUncorrectable => {
+                        row[7] = "detected_uncorrectable".into();
+                    }
+                },
+                ShiftEvent::BackShift { steps } => {
+                    row[9] = steps.to_string();
+                }
+                ShiftEvent::SafeDistanceSplit {
+                    distance,
+                    cap,
+                    parts,
+                } => {
+                    row[3] = distance.to_string();
+                    row[10] = cap.to_string();
+                    row[4] = parts.to_string();
+                }
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// CSV rendering of [`Self::rows`].
+    pub fn to_csv(&self) -> String {
+        to_csv(&self.rows())
+    }
+}
+
+/// Writes a JSON document to `path` in pretty form. `.csv` paths are
+/// not special-cased here; callers pick the representation.
+pub fn write_json(path: &Path, doc: &Json) -> io::Result<()> {
+    std::fs::write(path, doc.pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{EventTrace, PeccOutcome, ShiftEvent};
+    use crate::metrics::MetricsRegistry;
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let rows = vec![
+            vec!["a".into(), "b,c".into()],
+            vec!["say \"hi\"".into(), "plain".into()],
+        ];
+        assert_eq!(to_csv(&rows), "a,\"b,c\"\n\"say \"\"hi\"\"\",plain\n");
+    }
+
+    #[test]
+    fn snapshot_csv_has_header_and_all_metrics() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.counter_add("shift.count", 9);
+        r.gauge_set("energy.pj", 1.25);
+        r.observe("lat", 3.0);
+        let csv = r.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name,type,count"));
+        assert!(csv.contains("shift.count,counter,,9"));
+        assert!(csv.contains("energy.pj,gauge,,1.25"));
+        assert!(csv.contains("lat,histogram,1,3"));
+    }
+
+    #[test]
+    fn event_csv_round_numbers() {
+        let t = EventTrace::new();
+        t.set_enabled(true);
+        t.record(
+            3,
+            ShiftEvent::PeccVerdict {
+                outcome: PeccOutcome::Corrected(2),
+            },
+        );
+        let csv = t.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], "0,3,PeccVerdict,,,,,corrected,2,,");
+    }
+}

@@ -1,0 +1,147 @@
+//! Unified observability for the `hifi-rtm` workspace.
+//!
+//! Simulation code across the workspace (shift controller, p-ECC
+//! layer, LLC model, Monte-Carlo drivers) emits into one process-wide
+//! [`Observer`] holding:
+//!
+//! * a [`metrics::MetricsRegistry`] of named counters, gauges and
+//!   fixed-bucket histograms with p50/p95/p99 summaries;
+//! * an [`events::EventTrace`] — a bounded ring buffer of
+//!   shift-transaction events ([`events::ShiftEvent`]) with sequence
+//!   numbers and cycle timestamps, so peak memory stays independent of
+//!   run length;
+//! * [`timer::ScopedTimer`] and [`timer::Progress`] for wall-clock
+//!   phase timing and sweep heartbeats.
+//!
+//! Everything is **off by default**: a disabled recording call is a
+//! single relaxed atomic load, so instrumentation costs nothing in
+//! uninstrumented runs. The `repro` binary switches recording on when
+//! `--metrics` / `--events` / `--progress` flags are present and
+//! writes machine-readable reports via [`json::Json`] and
+//! [`export::to_csv`] — both implemented here because offline builds
+//! cannot depend on external serialisation crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtm_obs::events::{PeccOutcome, ShiftEvent};
+//!
+//! let obs = rtm_obs::global();
+//! obs.registry().set_enabled(true);
+//! obs.trace().set_enabled(true);
+//!
+//! obs.registry().counter_add("shift.count", 1);
+//! obs.registry().observe("shift.latency_cycles", 18.0);
+//! obs.trace().record(7, ShiftEvent::PeccVerdict { outcome: PeccOutcome::Clean });
+//!
+//! let snap = obs.registry().snapshot();
+//! assert_eq!(snap.counter("shift.count"), Some(1));
+//! # obs.registry().set_enabled(false);
+//! # obs.trace().set_enabled(false);
+//! # obs.registry().reset();
+//! # obs.trace().reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod timer;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use events::{EventTrace, ShiftEvent};
+use metrics::MetricsRegistry;
+
+/// The process-wide metrics registry plus event trace.
+#[derive(Debug, Default)]
+pub struct Observer {
+    registry: MetricsRegistry,
+    trace: EventTrace,
+}
+
+impl Observer {
+    /// Creates a fresh, disabled observer (tests use private
+    /// observers; production code shares [`global`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The shift-transaction event trace.
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+}
+
+/// The process-wide observer instrumented code emits into.
+pub fn global() -> &'static Observer {
+    static GLOBAL: OnceLock<Observer> = OnceLock::new();
+    GLOBAL.get_or_init(Observer::new)
+}
+
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Switches heartbeat progress reporting on or off (off by default);
+/// read by [`timer::Progress`] at construction.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Whether heartbeat progress reporting is on.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Records a shift-transaction event into the global trace.
+///
+/// Free-function convenience so hot paths need one import; a disabled
+/// trace makes this a single relaxed atomic load.
+pub fn record_event(cycle: u64, event: ShiftEvent) {
+    global().trace().record(cycle, event);
+}
+
+/// Adds to a counter in the global registry (no-op while disabled).
+pub fn counter_add(name: &str, delta: u64) {
+    global().registry().counter_add(name, delta);
+}
+
+/// Records into a default-bucket histogram in the global registry
+/// (no-op while disabled).
+pub fn observe(name: &str, value: f64) {
+    global().registry().observe(name, value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_is_disabled_by_default_and_shared() {
+        let a = global();
+        let b = global();
+        assert!(std::ptr::eq(a, b));
+        // Free functions are no-ops while disabled.
+        counter_add("t.count", 1);
+        observe("t.hist", 1.0);
+        record_event(0, ShiftEvent::BackShift { steps: 1 });
+        assert_eq!(a.registry().snapshot().counter("t.count"), None);
+        assert_eq!(a.trace().snapshot().total, 0);
+    }
+
+    #[test]
+    fn progress_flag_toggles() {
+        assert!(!progress_enabled());
+        set_progress(true);
+        assert!(progress_enabled());
+        set_progress(false);
+    }
+}

@@ -1,0 +1,650 @@
+//! A registry of named counters, gauges and fixed-bucket histograms.
+//!
+//! The registry is designed for hot simulation loops: when disabled
+//! (the default) every recording call is a single relaxed atomic load,
+//! so instrumented code pays essentially nothing in uninstrumented
+//! runs. When enabled, updates take a `Mutex` around a `BTreeMap`; the
+//! simulator is single-threaded per run, so contention is not a
+//! concern, and snapshots are cheap and consistent.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Default histogram bucket upper bounds: a 1–2–5 ladder covering
+/// nine decades, suitable for cycle counts and latencies.
+pub const DEFAULT_BUCKETS: [f64; 28] = [
+    1.0, 2.0, 5.0, 1.0e1, 2.0e1, 5.0e1, 1.0e2, 2.0e2, 5.0e2, 1.0e3, 2.0e3, 5.0e3, 1.0e4, 2.0e4,
+    5.0e4, 1.0e5, 2.0e5, 5.0e5, 1.0e6, 2.0e6, 5.0e6, 1.0e7, 2.0e7, 5.0e7, 1.0e8, 2.0e8, 5.0e8,
+    1.0e9,
+];
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Hist),
+}
+
+/// Fixed-bucket histogram state: `counts[i]` tallies observations with
+/// `value <= bounds[i]`; the final slot is the overflow bucket.
+#[derive(Debug, Clone)]
+struct Hist {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Hist {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Names are free-form dotted strings (`"shift.latency_cycles"`). A
+/// name keeps the kind of its first recording; recording a different
+/// kind under the same name is ignored rather than panicking, so
+/// instrumentation can never take a simulation down.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty, disabled registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on or off. Off is the default; disabled
+    /// recording calls cost one relaxed atomic load.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero first.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += delta,
+            _ => debug_assert!(false, "metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "metric {name} is not a gauge"),
+        }
+    }
+
+    /// Adds `delta` to the gauge `name`, creating it at zero first.
+    pub fn gauge_add(&self, name: &str, delta: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+            Metric::Gauge(v) => *v += delta,
+            _ => debug_assert!(false, "metric {name} is not a gauge"),
+        }
+    }
+
+    /// Records `value` into the histogram `name` with the
+    /// [`DEFAULT_BUCKETS`] layout.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_with(name, value, &DEFAULT_BUCKETS);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with the
+    /// given strictly increasing bucket upper bounds on first use.
+    /// Later calls reuse the existing layout.
+    pub fn observe_with(&self, name: &str, value: f64, bounds: &[f64]) {
+        if !self.enabled() {
+            return;
+        }
+        let mut map = self.inner.lock().expect("metrics registry poisoned");
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Hist::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            _ => debug_assert!(false, "metric {name} is not a histogram"),
+        }
+    }
+
+    /// Removes every metric (the enabled flag is untouched).
+    pub fn reset(&self) {
+        self.inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .clear();
+    }
+
+    /// A consistent point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let map = self.inner.lock().expect("metrics registry poisoned");
+        RegistrySnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, metric)| MetricSnapshot {
+                    name: name.clone(),
+                    value: match metric {
+                        Metric::Counter(v) => MetricValue::Counter(*v),
+                        Metric::Gauge(v) => MetricValue::Gauge(*v),
+                        Metric::Histogram(h) => MetricValue::Histogram(summarise(h)),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+fn summarise(h: &Hist) -> HistogramSummary {
+    let (min, max) = if h.count == 0 {
+        (0.0, 0.0)
+    } else {
+        (h.min, h.max)
+    };
+    HistogramSummary {
+        count: h.count,
+        sum: h.sum,
+        min,
+        max,
+        p50: bucket_quantile(h, 0.50),
+        p95: bucket_quantile(h, 0.95),
+        p99: bucket_quantile(h, 0.99),
+        buckets: h
+            .bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(h.counts.iter().copied())
+            .collect(),
+    }
+}
+
+/// Quantile estimate by linear interpolation inside the bucket that
+/// contains the target rank; exact at bucket edges and clamped to the
+/// observed `[min, max]`.
+fn bucket_quantile(h: &Hist, q: f64) -> f64 {
+    if h.count == 0 {
+        return 0.0;
+    }
+    let rank = q * h.count as f64;
+    let mut cumulative = 0u64;
+    for (i, &c) in h.counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let next = cumulative + c;
+        if next as f64 >= rank {
+            let lower = if i == 0 {
+                h.min.min(0.0)
+            } else {
+                h.bounds[i - 1]
+            };
+            let upper = if i < h.bounds.len() {
+                h.bounds[i]
+            } else {
+                h.max
+            };
+            let frac = (rank - cumulative as f64) / c as f64;
+            let est = lower + frac * (upper - lower);
+            return est.clamp(h.min, h.max);
+        }
+        cumulative = next;
+    }
+    h.max
+}
+
+/// A point-in-time copy of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's registered name.
+    pub name: String,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// The value of a snapshotted metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-set (or accumulated) level.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+/// Summary of a histogram at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// `(upper_bound, count)` per bucket; the last bound is
+    /// `f64::INFINITY` (the overflow bucket).
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean of observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegistrySnapshot {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl RegistrySnapshot {
+    /// Looks a metric up by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| &m.value)
+    }
+
+    /// The value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The summary of histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Merges counters by addition, gauges by taking `other`'s value,
+    /// and histograms bucket-wise (layouts must match; mismatched
+    /// layouts keep `self`'s entry). Used to aggregate per-cell
+    /// snapshots into a sweep-level report.
+    pub fn absorb(&mut self, other: &RegistrySnapshot) {
+        for theirs in &other.metrics {
+            match self.metrics.iter_mut().find(|m| m.name == theirs.name) {
+                None => self.metrics.push(theirs.clone()),
+                Some(mine) => match (&mut mine.value, &theirs.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        merge_histograms(a, b);
+                    }
+                    _ => {}
+                },
+            }
+        }
+        self.metrics.sort_by(|a, b| a.name.cmp(&b.name));
+    }
+}
+
+fn merge_histograms(a: &mut HistogramSummary, b: &HistogramSummary) {
+    if b.count == 0 {
+        return;
+    }
+    let layouts_match = a.buckets.len() == b.buckets.len()
+        && a.buckets
+            .iter()
+            .zip(&b.buckets)
+            .all(|((ba, _), (bb, _))| ba == bb || (ba.is_infinite() && bb.is_infinite()));
+    if !layouts_match {
+        return;
+    }
+    if a.count == 0 {
+        *a = b.clone();
+        return;
+    }
+    for ((_, ca), (_, cb)) in a.buckets.iter_mut().zip(&b.buckets) {
+        *ca += cb;
+    }
+    a.count += b.count;
+    a.sum += b.sum;
+    a.min = a.min.min(b.min);
+    a.max = a.max.max(b.max);
+    // Re-derive quantiles from the merged buckets.
+    let bounds: Vec<f64> = a
+        .buckets
+        .iter()
+        .map(|&(b, _)| b)
+        .filter(|b| b.is_finite())
+        .collect();
+    let merged = Hist {
+        counts: a.buckets.iter().map(|&(_, c)| c).collect(),
+        bounds,
+        count: a.count,
+        sum: a.sum,
+        min: a.min,
+        max: a.max,
+    };
+    a.p50 = bucket_quantile(&merged, 0.50);
+    a.p95 = bucket_quantile(&merged, 0.95);
+    a.p99 = bucket_quantile(&merged, 0.99);
+}
+
+fn bound_to_json(b: f64) -> Json {
+    if b.is_infinite() {
+        Json::Str("inf".to_string())
+    } else {
+        Json::Num(b)
+    }
+}
+
+fn bound_from_json(j: &Json) -> Option<f64> {
+    match j {
+        Json::Str(s) if s == "inf" => Some(f64::INFINITY),
+        Json::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+impl RegistrySnapshot {
+    /// Encodes the snapshot as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(
+            self.metrics
+                .iter()
+                .map(|m| (m.name.clone(), metric_to_json(&m.value)))
+                .collect(),
+        )
+    }
+
+    /// Decodes a snapshot previously produced by [`Self::to_json`].
+    ///
+    /// Returns `None` when the document does not have the snapshot
+    /// shape.
+    pub fn from_json(doc: &Json) -> Option<RegistrySnapshot> {
+        let Json::Obj(pairs) = doc else { return None };
+        let mut metrics = Vec::with_capacity(pairs.len());
+        for (name, value) in pairs {
+            metrics.push(MetricSnapshot {
+                name: name.clone(),
+                value: metric_from_json(value)?,
+            });
+        }
+        Some(RegistrySnapshot { metrics })
+    }
+}
+
+fn metric_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::obj(vec![
+            ("type", Json::Str("counter".into())),
+            ("value", Json::Num(*v as f64)),
+        ]),
+        MetricValue::Gauge(v) => Json::obj(vec![
+            ("type", Json::Str("gauge".into())),
+            ("value", Json::Num(*v)),
+        ]),
+        MetricValue::Histogram(h) => Json::obj(vec![
+            ("type", Json::Str("histogram".into())),
+            ("count", Json::Num(h.count as f64)),
+            ("sum", Json::Num(h.sum)),
+            ("min", Json::Num(h.min)),
+            ("max", Json::Num(h.max)),
+            ("p50", Json::Num(h.p50)),
+            ("p95", Json::Num(h.p95)),
+            ("p99", Json::Num(h.p99)),
+            (
+                "buckets",
+                Json::Arr(
+                    h.buckets
+                        .iter()
+                        .map(|&(le, count)| {
+                            Json::obj(vec![
+                                ("le", bound_to_json(le)),
+                                ("count", Json::Num(count as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+    }
+}
+
+fn metric_from_json(doc: &Json) -> Option<MetricValue> {
+    match doc.get("type")?.as_str()? {
+        "counter" => Some(MetricValue::Counter(doc.get("value")?.as_u64()?)),
+        "gauge" => Some(MetricValue::Gauge(doc.get("value")?.as_f64()?)),
+        "histogram" => {
+            let buckets = doc
+                .get("buckets")?
+                .as_arr()?
+                .iter()
+                .map(|b| Some((bound_from_json(b.get("le")?)?, b.get("count")?.as_u64()?)))
+                .collect::<Option<Vec<_>>>()?;
+            Some(MetricValue::Histogram(HistogramSummary {
+                count: doc.get("count")?.as_u64()?,
+                sum: doc.get("sum")?.as_f64()?,
+                min: doc.get("min")?.as_f64()?,
+                max: doc.get("max")?.as_f64()?,
+                p50: doc.get("p50")?.as_f64()?,
+                p95: doc.get("p95")?.as_f64()?,
+                p99: doc.get("p99")?.as_f64()?,
+                buckets,
+            }))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let r = MetricsRegistry::new();
+        r.counter_add("c", 5);
+        r.gauge_set("g", 1.0);
+        r.observe("h", 3.0);
+        assert!(r.snapshot().metrics.is_empty());
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.counter_add("shift.count", 3);
+        r.counter_add("shift.count", 4);
+        assert_eq!(r.snapshot().counter("shift.count"), Some(7));
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.gauge_set("energy.pj", 10.0);
+        r.gauge_set("energy.pj", 4.0);
+        assert_eq!(r.snapshot().gauge("energy.pj"), Some(4.0));
+        r.gauge_add("energy.pj", 1.5);
+        assert_eq!(r.snapshot().gauge("energy.pj"), Some(5.5));
+    }
+
+    #[test]
+    fn histogram_counts_and_moments() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        for v in [1.0, 2.0, 3.0, 100.0] {
+            r.observe("lat", v);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("lat").expect("histogram");
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 106.0).abs() < 1e-12);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 26.5).abs() < 1e-12);
+        let total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert!(h.buckets.last().expect("overflow").0.is_infinite());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_within_range() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        for i in 0..1000 {
+            r.observe("lat", (i % 97) as f64 + 1.0);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("lat").expect("histogram");
+        assert!(h.min <= h.p50 && h.p50 <= h.p95 && h.p95 <= h.p99 && h.p99 <= h.max);
+        // Uniform-ish over [1, 97]: p50 should sit near the middle.
+        assert!(h.p50 > 20.0 && h.p50 < 80.0, "p50 {}", h.p50);
+    }
+
+    #[test]
+    fn quantile_exact_for_point_mass() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        for _ in 0..50 {
+            r.observe("lat", 42.0);
+        }
+        let snap = r.snapshot();
+        let h = snap.histogram("lat").expect("histogram");
+        assert_eq!(h.p50, 42.0);
+        assert_eq!(h.p99, 42.0);
+    }
+
+    #[test]
+    fn custom_buckets_are_kept() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.observe_with("d", 3.0, &[1.0, 4.0, 9.0]);
+        r.observe_with("d", 100.0, &[1.0, 4.0, 9.0]);
+        let snap = r.snapshot();
+        let h = snap.histogram("d").expect("histogram");
+        assert_eq!(h.buckets.len(), 4);
+        assert_eq!(h.buckets[1], (4.0, 1));
+        assert_eq!(h.buckets[3].1, 1, "overflow bucket holds 100.0");
+    }
+
+    #[test]
+    fn reset_clears_metrics() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.counter_add("c", 1);
+        r.reset();
+        assert!(r.snapshot().metrics.is_empty());
+        assert!(r.enabled(), "reset keeps the enabled flag");
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        r.counter_add("a.count", 12);
+        r.gauge_set("b.level", -2.5);
+        for v in [1.0, 7.0, 7.0, 30.0] {
+            r.observe("c.hist", v);
+        }
+        let snap = r.snapshot();
+        let doc = snap.to_json();
+        let text = doc.pretty();
+        let parsed = Json::parse(&text).expect("parse");
+        let back = RegistrySnapshot::from_json(&parsed).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_histograms() {
+        let r1 = MetricsRegistry::new();
+        r1.set_enabled(true);
+        r1.counter_add("c", 2);
+        r1.observe("h", 1.0);
+        let r2 = MetricsRegistry::new();
+        r2.set_enabled(true);
+        r2.counter_add("c", 3);
+        r2.observe("h", 9.0);
+        r2.counter_add("only2", 1);
+        let mut total = r1.snapshot();
+        total.absorb(&r2.snapshot());
+        assert_eq!(total.counter("c"), Some(5));
+        assert_eq!(total.counter("only2"), Some(1));
+        let h = total.histogram("h").expect("histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 9.0);
+    }
+}

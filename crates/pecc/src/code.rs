@@ -230,8 +230,7 @@ mod tests {
         for m in 0..=4u32 {
             let code = PeccCode::new(m);
             let p = code.period();
-            let windows: Vec<Vec<Bit>> =
-                (0..p).map(|r| code.expected_window(r as i64)).collect();
+            let windows: Vec<Vec<Bit>> = (0..p).map(|r| code.expected_window(r as i64)).collect();
             for i in 0..p as usize {
                 for j in (i + 1)..p as usize {
                     assert_ne!(windows[i], windows[j], "m={m}: phases {i} and {j} collide");

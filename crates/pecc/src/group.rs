@@ -176,8 +176,12 @@ mod tests {
     use rtm_track::fault::{IdealFaultModel, ScriptedFaultModel};
 
     fn group(count: usize) -> ProtectedGroup {
-        ProtectedGroup::new(StripeGeometry::paper_default(), ProtectionKind::SECDED, count)
-            .expect("valid layout")
+        ProtectedGroup::new(
+            StripeGeometry::paper_default(),
+            ProtectionKind::SECDED,
+            count,
+        )
+        .expect("valid layout")
     }
 
     #[test]
@@ -199,11 +203,11 @@ mod tests {
         // 1 of 4 slips by +1, the rest are clean; the corrective shift
         // (sampled next) succeeds.
         let mut faults = ScriptedFaultModel::new([
-            ShiftOutcome::Pinned { offset: 0 },  // stripe 0 shift
-            ShiftOutcome::Pinned { offset: 1 },  // stripe 1 shift (slip!)
-            ShiftOutcome::Pinned { offset: 0 },  // stripe 1 correction
-            ShiftOutcome::Pinned { offset: 0 },  // stripe 2 shift
-            ShiftOutcome::Pinned { offset: 0 },  // stripe 3 shift
+            ShiftOutcome::Pinned { offset: 0 }, // stripe 0 shift
+            ShiftOutcome::Pinned { offset: 1 }, // stripe 1 shift (slip!)
+            ShiftOutcome::Pinned { offset: 0 }, // stripe 1 correction
+            ShiftOutcome::Pinned { offset: 0 }, // stripe 2 shift
+            ShiftOutcome::Pinned { offset: 0 }, // stripe 3 shift
         ]);
         let v = g.shift_checked(3, &mut faults, 3);
         assert_eq!(v, Verdict::Clean, "the slip was repaired in-transaction");
@@ -244,8 +248,7 @@ mod tests {
         // With inflated rates, a 512-stripe group sees frequent
         // per-stripe repairs but stays synchronised (only ±1 injected).
         let mut g = group(64);
-        let mut faults =
-            rtm_reliability_stub::InflatedOneStep::new(0.01, 5);
+        let mut faults = rtm_reliability_stub::InflatedOneStep::new(0.01, 5);
         let mut due = false;
         for target in [3usize, 6, 1, 7, 0, 4] {
             if g.seek_checked(target, &mut faults, 4) == Verdict::Uncorrectable {
@@ -272,7 +275,10 @@ mod tests {
 
         impl InflatedOneStep {
             pub fn new(p1: f64, seed: u64) -> Self {
-                Self { p1, rng: SmallRng64::new(seed) }
+                Self {
+                    p1,
+                    rng: SmallRng64::new(seed),
+                }
             }
         }
 

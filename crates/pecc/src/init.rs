@@ -58,11 +58,7 @@ impl InitPlan {
 /// # Panics
 ///
 /// Panics if `rounds == 0`.
-pub fn plan_initialisation(
-    layout: &PeccLayout,
-    rates: &OutOfStepRates,
-    rounds: u32,
-) -> InitPlan {
+pub fn plan_initialisation(layout: &PeccLayout, rates: &OutOfStepRates, rounds: u32) -> InitPlan {
     assert!(rounds > 0, "at least one program-and-test round required");
     let total_len = layout.total_domains() as u64;
     let code_bits = layout.code_domains.max(1) as u64;
@@ -77,8 +73,7 @@ pub fn plan_initialisation(
     // taps on the forward sweep and again on the backward sweep; each
     // passage re-checks it, and surviving undetected requires an
     // (independent) compensating position error at every check.
-    let checks_per_round =
-        2.0 * (layout.geometry.num_ports() + layout.extra_read_ports) as f64;
+    let checks_per_round = 2.0 * (layout.geometry.num_ports() + layout.extra_read_ports) as f64;
     let p1 = rates.rate(1, 1).max(1e-300);
     let ln_per_bit = checks_per_round * p1.ln() * rounds as f64;
     let ln_residual = ln_per_bit + (code_bits as f64).ln();
@@ -144,7 +139,8 @@ pub fn simulate_initialisation(
         // repeat — after k bits the oldest sits at slot k-1. Write the
         // bits in reverse so bit 0 ends leftmost.
         for i in (0..code_len).rev() {
-            tape.write_slot(0, code.bit_at(i as i64)).expect("slot 0 in range");
+            tape.write_slot(0, code.bit_at(i as i64))
+                .expect("slot 0 in range");
             let outcome = faults.sample(1);
             tape.apply_shift(1, outcome);
             total_steps += 1;
@@ -153,7 +149,11 @@ pub fn simulate_initialisation(
                 // immediately (the next write would fail) — restart.
                 restarts += 1;
                 if restarts > max_restarts {
-                    return InitOutcome { restarts, total_steps, success: false };
+                    return InitOutcome {
+                        restarts,
+                        total_steps,
+                        success: false,
+                    };
                 }
                 continue 'attempt;
             }
@@ -173,7 +173,11 @@ pub fn simulate_initialisation(
                 if !tape.is_aligned() {
                     restarts += 1;
                     if restarts > max_restarts {
-                        return InitOutcome { restarts, total_steps, success: false };
+                        return InitOutcome {
+                            restarts,
+                            total_steps,
+                            success: false,
+                        };
                     }
                     continue 'attempt;
                 }
@@ -188,14 +192,22 @@ pub fn simulate_initialisation(
         // Clean run: slot s holds code bit (s - 1).
         let expected_index = (tap_base as i64) - 1;
         let verdict = code.decode(expected_index, &observed);
-        let success = verdict == crate::code::Verdict::Clean
-            && tape.actual_offset() == code_len as i64;
+        let success =
+            verdict == crate::code::Verdict::Clean && tape.actual_offset() == code_len as i64;
         if success {
-            return InitOutcome { restarts, total_steps, success: true };
+            return InitOutcome {
+                restarts,
+                total_steps,
+                success: true,
+            };
         }
         restarts += 1;
         if restarts > max_restarts {
-            return InitOutcome { restarts, total_steps, success: false };
+            return InitOutcome {
+                restarts,
+                total_steps,
+                success: false,
+            };
         }
     }
 }
@@ -203,10 +215,7 @@ pub fn simulate_initialisation(
 /// Convenience: a scripted single-error campaign used by tests and the
 /// playground example — injects `error_at_step` as a +1 out-of-step
 /// error and lets the protocol recover.
-pub fn scripted_single_error(
-    layout: &PeccLayout,
-    error_at_step: usize,
-) -> InitOutcome {
+pub fn scripted_single_error(layout: &PeccLayout, error_at_step: usize) -> InitOutcome {
     let mut outcomes = vec![ShiftOutcome::Pinned { offset: 0 }; error_at_step];
     outcomes.push(ShiftOutcome::Pinned { offset: 1 });
     let mut faults = rtm_track::fault::ScriptedFaultModel::new(outcomes);
@@ -215,12 +224,7 @@ pub fn scripted_single_error(
 
 /// Total initialisation time for a memory of `stripes` stripes,
 /// initialised `parallelism` stripes at a time (per-bank init engines).
-pub fn memory_init_time(
-    plan: &InitPlan,
-    stripes: u64,
-    parallelism: u64,
-    clock_hz: f64,
-) -> Seconds {
+pub fn memory_init_time(plan: &InitPlan, stripes: u64, parallelism: u64, clock_hz: f64) -> Seconds {
     assert!(parallelism > 0, "parallelism must be positive");
     let waves = stripes.div_ceil(parallelism);
     Seconds(plan.duration(clock_hz).as_secs() * waves as f64)
@@ -233,11 +237,8 @@ mod tests {
     use rtm_track::geometry::StripeGeometry;
 
     fn default_plan(rounds: u32) -> InitPlan {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         plan_initialisation(&layout, &OutOfStepRates::paper_calibration(), rounds)
     }
 
@@ -278,20 +279,13 @@ mod tests {
         let plan = default_plan(1);
         let stripes = 128u64 * 1024 * 1024 * 8 / 64;
         let t = memory_init_time(&plan, stripes, 512 * 64, 2.0e9);
-        assert!(
-            t.as_secs() < 20e-3,
-            "init time {} too slow",
-            t.as_secs()
-        );
+        assert!(t.as_secs() < 20e-3, "init time {} too slow", t.as_secs());
     }
 
     #[test]
     fn physical_init_succeeds_without_faults() {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         let mut faults = rtm_track::fault::IdealFaultModel;
         let out = simulate_initialisation(&layout, &mut faults, 2);
         assert!(out.success, "{out:?}");
@@ -302,11 +296,8 @@ mod tests {
 
     #[test]
     fn physical_init_detects_and_recovers_from_slip() {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         for step in [0usize, 3, 12, 25] {
             let out = scripted_single_error(&layout, step);
             assert!(out.success, "error at step {step}: {out:?}");
@@ -316,14 +307,14 @@ mod tests {
 
     #[test]
     fn physical_init_detects_stop_in_middle() {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         let mut faults = rtm_track::fault::ScriptedFaultModel::new([
             ShiftOutcome::Pinned { offset: 0 },
-            ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 },
+            ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.5,
+            },
         ]);
         let out = simulate_initialisation(&layout, &mut faults, 3);
         assert!(out.success);
@@ -332,11 +323,8 @@ mod tests {
 
     #[test]
     fn physical_init_gives_up_under_persistent_faults() {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         // Every shift over-steps: no attempt can ever verify.
         struct Always1;
         impl rtm_track::fault::FaultModel for Always1 {
@@ -367,11 +355,8 @@ mod tests {
     #[test]
     fn calibrated_faults_rarely_disturb_init() {
         // At the real Table 2 rates a campaign virtually never restarts.
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::SECDED).unwrap();
         let mut faults = rtm_track::fault::CalibratedFaultModel::paper(99);
         let mut restarts = 0;
         for _ in 0..200 {
@@ -385,11 +370,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn physical_init_rejects_uncoded_layout() {
-        let layout = PeccLayout::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::None,
-        )
-        .unwrap();
+        let layout =
+            PeccLayout::new(StripeGeometry::paper_default(), ProtectionKind::None).unwrap();
         let _ = simulate_initialisation(&layout, &mut rtm_track::fault::IdealFaultModel, 1);
     }
 

@@ -24,6 +24,7 @@
 
 use crate::code::{PeccCode, Verdict};
 use crate::layout::{LayoutError, PeccLayout, ProtectionKind};
+use rtm_obs::events::{PeccOutcome, ShiftEvent};
 use rtm_track::bit::Bit;
 use rtm_track::fault::FaultModel;
 use rtm_track::geometry::StripeGeometry;
@@ -214,6 +215,14 @@ impl ProtectedStripe {
         self.stripe.apply_shift(-(k as i64), outcome);
         self.shift_ops += 1;
         self.corrections += 1;
+        rtm_obs::counter_add("pecc.back_shifts", 1);
+        rtm_obs::counter_add("pecc.back_shift_steps", k.unsigned_abs() as u64);
+        rtm_obs::record_event(
+            self.shift_ops,
+            ShiftEvent::BackShift {
+                steps: k.unsigned_abs(),
+            },
+        );
     }
 
     /// Full protected shift transaction: shift, check, correct (retrying
@@ -229,16 +238,40 @@ impl ProtectedStripe {
     ) -> Verdict {
         self.shift(delta, faults);
         let mut verdict = self.check();
+        self.record_verdict(verdict);
         let mut rounds = 0;
         while let Verdict::Correctable(k) = verdict {
             if rounds >= max_retries {
+                self.record_verdict(Verdict::Uncorrectable);
                 return Verdict::Uncorrectable;
             }
             self.correct(k, faults);
             verdict = self.check();
+            self.record_verdict(verdict);
             rounds += 1;
         }
         verdict
+    }
+
+    /// Emits a sampled (bit-accurate) p-ECC verdict into the global
+    /// observer, timestamped with the stripe's operation count (this
+    /// layer has no cycle clock). No-op when observability is off.
+    fn record_verdict(&self, verdict: Verdict) {
+        let outcome = match verdict {
+            Verdict::Clean => {
+                rtm_obs::counter_add("pecc.verdict.clean", 1);
+                PeccOutcome::Clean
+            }
+            Verdict::Correctable(k) => {
+                rtm_obs::counter_add("pecc.verdict.corrected", 1);
+                PeccOutcome::Corrected(k.unsigned_abs())
+            }
+            Verdict::Uncorrectable => {
+                rtm_obs::counter_add("pecc.verdict.due", 1);
+                PeccOutcome::DetectedUncorrectable
+            }
+        };
+        rtm_obs::record_event(self.shift_ops, ShiftEvent::PeccVerdict { outcome });
     }
 
     /// Reads data domain `d` at the current head position.
@@ -286,11 +319,7 @@ impl ProtectedStripe {
     /// # Panics
     ///
     /// Panics if `target` exceeds the geometry's head range.
-    pub fn seek_checked(
-        &mut self,
-        target: usize,
-        faults: &mut dyn FaultModel,
-    ) -> Verdict {
+    pub fn seek_checked(&mut self, target: usize, faults: &mut dyn FaultModel) -> Verdict {
         assert!(
             target <= self.layout.geometry.max_shift(),
             "head target {target} out of range"
@@ -298,11 +327,10 @@ impl ProtectedStripe {
         let mut worst = Verdict::Clean;
         while self.believed_head != target as i64 {
             let remaining = target as i64 - self.believed_head;
-            let step = remaining
-                .clamp(
-                    -(self.layout.max_shift_per_op as i64),
-                    self.layout.max_shift_per_op as i64,
-                );
+            let step = remaining.clamp(
+                -(self.layout.max_shift_per_op as i64),
+                self.layout.max_shift_per_op as i64,
+            );
             let v = self.shift_checked(step, faults, 3);
             if v == Verdict::Uncorrectable {
                 return v;
@@ -342,7 +370,11 @@ mod tests {
             ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::Sed).unwrap();
         let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
         s.shift(3, &mut faults);
-        assert_eq!(s.check(), Verdict::Uncorrectable, "SED detects but cannot correct");
+        assert_eq!(
+            s.check(),
+            Verdict::Uncorrectable,
+            "SED detects but cannot correct"
+        );
     }
 
     #[test]
@@ -384,8 +416,10 @@ mod tests {
     #[test]
     fn stop_in_middle_reads_garble_the_taps() {
         let mut s = secded_stripe();
-        let mut faults =
-            ScriptedFaultModel::new([ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 }]);
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::StopInMiddle {
+            lower: 0,
+            frac: 0.5,
+        }]);
         s.shift(2, &mut faults);
         assert_eq!(s.check(), Verdict::Uncorrectable);
     }
@@ -443,7 +477,11 @@ mod tests {
         }
         for d in 0..geom.data_len() {
             s.seek_checked(geom.head_position_for(d), &mut ideal);
-            assert_eq!(s.read_domain(d).unwrap(), Bit::from(d % 5 == 0), "domain {d}");
+            assert_eq!(
+                s.read_domain(d).unwrap(),
+                Bit::from(d % 5 == 0),
+                "domain {d}"
+            );
         }
     }
 
@@ -470,11 +508,8 @@ mod tests {
 
     #[test]
     fn pecc_o_variant_corrects_with_single_step_shifts() {
-        let mut s = ProtectedStripe::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED_O,
-        )
-        .unwrap();
+        let mut s = ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::SECDED_O)
+            .unwrap();
         assert_eq!(s.layout().max_shift_per_op, 1);
         let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
         let v = s.shift_checked(1, &mut faults, 3);
@@ -484,11 +519,8 @@ mod tests {
 
     #[test]
     fn pecc_o_rejects_multi_step_shift() {
-        let mut s = ProtectedStripe::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::SECDED_O,
-        )
-        .unwrap();
+        let mut s = ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::SECDED_O)
+            .unwrap();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             s.shift(2, &mut IdealFaultModel)
         }));
@@ -497,11 +529,8 @@ mod tests {
 
     #[test]
     fn unprotected_stripe_is_blind() {
-        let mut s = ProtectedStripe::new(
-            StripeGeometry::paper_default(),
-            ProtectionKind::None,
-        )
-        .unwrap();
+        let mut s =
+            ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::None).unwrap();
         let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
         s.shift(3, &mut faults);
         assert_eq!(s.check(), Verdict::Clean, "no code, no detection");
@@ -512,8 +541,7 @@ mod tests {
     #[test]
     fn stronger_code_corrects_deeper_errors() {
         let geom = StripeGeometry::new(64, 4).unwrap(); // Lseg = 16
-        let mut s =
-            ProtectedStripe::new(geom, ProtectionKind::Correcting { m: 3 }).unwrap();
+        let mut s = ProtectedStripe::new(geom, ProtectionKind::Correcting { m: 3 }).unwrap();
         let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 3 }]);
         s.shift(5, &mut faults);
         assert_eq!(s.check(), Verdict::Correctable(3));

@@ -1,29 +1,35 @@
 //! Property tests for the cyclic p-ECC code.
 
-use proptest::prelude::*;
 use rtm_pecc::code::{PeccCode, Verdict};
+use rtm_util::check::{run_cases, Gen};
 
-proptest! {
-    /// Windows are unique within a period for every strength.
-    #[test]
-    fn windows_unique(m in 0u32..8) {
+/// Windows are unique within a period for every strength.
+#[test]
+fn windows_unique() {
+    run_cases(16, |g: &mut Gen| {
+        let m = g.u32_in(0, 7);
         let code = PeccCode::new(m);
         let p = code.period();
         for i in 0..p {
             for j in (i + 1)..p {
-                prop_assert_ne!(
+                assert_ne!(
                     code.expected_window(i as i64),
                     code.expected_window(j as i64),
-                    "m={} phases {} and {} collide", m, i, j
+                    "m={m} phases {i} and {j} collide"
                 );
             }
         }
-    }
+    });
+}
 
-    /// decode(expected, window(expected - e)) recovers e (mod P) with
-    /// the documented correctable/uncorrectable split.
-    #[test]
-    fn decode_round_trip(m in 0u32..6, expected in -100i64..100, e in -15i64..15) {
+/// decode(expected, window(expected - e)) recovers e (mod P) with
+/// the documented correctable/uncorrectable split.
+#[test]
+fn decode_round_trip() {
+    run_cases(256, |g: &mut Gen| {
+        let m = g.u32_in(0, 5);
+        let expected = g.i64_in(-100, 99);
+        let e = g.i64_in(-15, 14);
         let code = PeccCode::new(m);
         let observed = code.expected_window(expected - e);
         let verdict = code.decode(expected, &observed);
@@ -39,42 +45,54 @@ proptest! {
         } else {
             Verdict::Correctable((d - p) as i32)
         };
-        prop_assert_eq!(verdict, want);
-    }
+        assert_eq!(verdict, want);
+    });
+}
 
-    /// The code pattern is periodic and balanced: exactly half ones in
-    /// any whole number of periods.
-    #[test]
-    fn pattern_periodic_and_balanced(m in 0u32..6, periods in 1usize..5) {
+/// The code pattern is periodic and balanced: exactly half ones in
+/// any whole number of periods.
+#[test]
+fn pattern_periodic_and_balanced() {
+    run_cases(64, |g: &mut Gen| {
+        let m = g.u32_in(0, 5);
+        let periods = g.usize_in(1, 4);
         let code = PeccCode::new(m);
         let p = code.period() as usize;
         let pat = code.pattern(0, p * periods);
         for (i, &b) in pat.iter().enumerate() {
-            prop_assert_eq!(b, pat[i % p]);
+            assert_eq!(b, pat[i % p]);
         }
         let ones = pat.iter().filter(|b| b.to_bool() == Some(true)).count();
-        prop_assert_eq!(ones, p * periods / 2);
-    }
+        assert_eq!(ones, p * periods / 2);
+    });
+}
 
-    /// classify_offset is periodic with period P.
-    #[test]
-    fn classification_is_periodic(m in 0u32..5, e in -20i32..20) {
+/// classify_offset is periodic with period P.
+#[test]
+fn classification_is_periodic() {
+    run_cases(256, |g: &mut Gen| {
+        let m = g.u32_in(0, 4);
+        let e = g.i32_in(-20, 19);
         let code = PeccCode::new(m);
         let p = code.period() as i32;
-        prop_assert_eq!(code.classify_offset(e), code.classify_offset(e + p));
-        prop_assert_eq!(code.classify_offset(e), code.classify_offset(e - p));
-    }
+        assert_eq!(code.classify_offset(e), code.classify_offset(e + p));
+        assert_eq!(code.classify_offset(e), code.classify_offset(e - p));
+    });
+}
 
-    /// A corrected verdict, applied as a back-shift, always lands on a
-    /// clean verdict (single-error closure).
-    #[test]
-    fn correction_closes(m in 1u32..5, e in -4i32..=4) {
+/// A corrected verdict, applied as a back-shift, always lands on a
+/// clean verdict (single-error closure).
+#[test]
+fn correction_closes() {
+    run_cases(256, |g: &mut Gen| {
+        let m = g.u32_in(1, 4);
+        let e = g.i32_in(-4, 4);
         let code = PeccCode::new(m);
         if let Verdict::Correctable(k) = code.classify_offset(e) {
             // The residual offset after shifting back by k.
             let residual = e - k;
             // Aliased corrections leave a multiple of the period.
-            prop_assert_eq!(code.classify_offset(residual), Verdict::Clean);
+            assert_eq!(code.classify_offset(residual), Verdict::Clean);
         }
-    }
+    });
 }

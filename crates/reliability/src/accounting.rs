@@ -88,12 +88,7 @@ impl ReliabilityReport {
     /// `intensity` counts *stripe* operations: for a 512-stripe line
     /// group served together, multiply the group command rate by 512.
     pub fn analytic(kind: ProtectionKind, mix: &ShiftMix, intensity: f64) -> Self {
-        Self::with_rates(
-            kind,
-            mix,
-            intensity,
-            &OutOfStepRates::paper_calibration(),
-        )
+        Self::with_rates(kind, mix, intensity, &OutOfStepRates::paper_calibration())
     }
 
     /// Analytic report with an explicit rate table.
@@ -199,13 +194,15 @@ mod tests {
     #[test]
     fn secded_fixes_sdc_keeps_modest_due() {
         let mix = ShiftMix::uniform(1..=7);
-        let r =
-            ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
+        let r = ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
         // Fig. 10: SECDED SDC MTTF > 1000 years.
         assert!(r.meets_sdc_target(), "SDC MTTF {}", r.sdc_mttf().as_years());
         // Fig. 11: plain SECDED DUE MTTF ~1 day-ish — not good enough.
         let due_days = r.due_mttf().as_secs() / 86400.0;
-        assert!((0.01..100.0).contains(&due_days), "DUE MTTF {due_days} days");
+        assert!(
+            (0.01..100.0).contains(&due_days),
+            "DUE MTTF {due_days} days"
+        );
         assert!(!r.meets_due_target());
     }
 
@@ -214,8 +211,7 @@ mod tests {
         // Restricting shifts to ≤3 steps (the worst-case safe distance)
         // pushes DUE MTTF past 10 years — the p-ECC-S result.
         let mix = ShiftMix::uniform(1..=3);
-        let r =
-            ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
+        let r = ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
         assert!(
             r.meets_due_target(),
             "DUE MTTF {} years",
@@ -238,8 +234,7 @@ mod tests {
     #[test]
     fn stronger_codes_shift_due_to_corrections() {
         let mix = ShiftMix::uniform(1..=7);
-        let secded =
-            ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
+        let secded = ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, paper_intensity());
         let m2 = ReliabilityReport::analytic(
             ProtectionKind::Correcting { m: 2 },
             &mix,

@@ -80,10 +80,7 @@ mod tests {
         let rate = required_rate(Seconds::from_years(10.0));
         // Paper: "position error rate needs to be at least lower than
         // 10^-19 to satisfy a requirement of 10-year MTTF".
-        assert!(
-            (1e-20..1e-18).contains(&rate),
-            "required rate {rate:.3e}"
-        );
+        assert!((1e-20..1e-18).contains(&rate), "required rate {rate:.3e}");
     }
 
     #[test]

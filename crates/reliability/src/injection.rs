@@ -60,7 +60,11 @@ impl FaultModel for InflatedFaultModel {
         } else {
             return ShiftOutcome::Pinned { offset: 0 };
         };
-        let sign = if self.rng.chance(self.plus_fraction) { 1 } else { -1 };
+        let sign = if self.rng.chance(self.plus_fraction) {
+            1
+        } else {
+            -1
+        };
         ShiftOutcome::Pinned { offset: sign * k }
     }
 }

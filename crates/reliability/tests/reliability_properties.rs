@@ -1,18 +1,17 @@
 //! Property tests for the reliability accounting layer.
 
-use proptest::prelude::*;
 use rtm_pecc::layout::ProtectionKind;
 use rtm_reliability::accounting::{ReliabilityReport, ShiftMix};
 use rtm_reliability::becc::BitEccScenario;
+use rtm_util::check::{run_cases, Gen};
 
-proptest! {
-    /// Probability mass conservation: SDC + DUE + corrections equals
-    /// the total error mass of the mix, for every scheme.
-    #[test]
-    fn scheme_partitions_error_mass(
-        distances in proptest::collection::vec(1u32..=7, 1..5),
-        m in 0u32..4,
-    ) {
+/// Probability mass conservation: SDC + DUE + corrections equals
+/// the total error mass of the mix, for every scheme.
+#[test]
+fn scheme_partitions_error_mass() {
+    run_cases(128, |g: &mut Gen| {
+        let distances = g.vec_of(1, 4, |g| g.u32_in(1, 7));
+        let m = g.u32_in(0, 3);
         let mix = ShiftMix::new(distances.iter().map(|&d| (d, 1.0)));
         let kind = if m == 0 {
             ProtectionKind::Sed
@@ -31,66 +30,80 @@ proptest! {
         let acc = report.sdc_rate_per_second
             + report.due_rate_per_second
             + report.correction_rate_per_second;
-        prop_assert!((acc - total).abs() <= total * 1e-9 + 1e-30);
-    }
+        assert!((acc - total).abs() <= total * 1e-9 + 1e-30);
+    });
+}
 
-    /// Stronger protection never increases SDC or DUE rates (for the
-    /// same mix and intensity).
-    #[test]
-    fn stronger_is_never_worse(distances in proptest::collection::vec(1u32..=7, 1..5)) {
+/// Stronger protection never increases SDC or DUE rates (for the
+/// same mix and intensity).
+#[test]
+fn stronger_is_never_worse() {
+    run_cases(128, |g: &mut Gen| {
+        let distances = g.vec_of(1, 4, |g| g.u32_in(1, 7));
         let mix = ShiftMix::new(distances.iter().map(|&d| (d, 1.0)));
         let i = 1.0e7;
         let mut prev_due = f64::INFINITY;
         for m in 1..=3u32 {
             let r = ReliabilityReport::analytic(ProtectionKind::Correcting { m }, &mix, i);
-            prop_assert!(r.due_rate_per_second <= prev_due * (1.0 + 1e-12));
+            assert!(r.due_rate_per_second <= prev_due * (1.0 + 1e-12));
             prev_due = r.due_rate_per_second;
         }
-    }
+    });
+}
 
-    /// Reports scale exactly linearly with intensity.
-    #[test]
-    fn intensity_linearity(d in 1u32..=7, scale in 1.1f64..100.0) {
+/// Reports scale exactly linearly with intensity.
+#[test]
+fn intensity_linearity() {
+    run_cases(256, |g: &mut Gen| {
+        let d = g.u32_in(1, 7);
+        let scale = g.f64_in(1.1, 100.0);
         let mix = ShiftMix::single(d);
         let a = ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, 1e6);
         let b = ReliabilityReport::analytic(ProtectionKind::SECDED, &mix, 1e6 * scale);
         if a.due_rate_per_second > 0.0 {
-            prop_assert!(
-                (b.due_rate_per_second / a.due_rate_per_second - scale).abs() < 1e-9 * scale
-            );
+            assert!((b.due_rate_per_second / a.due_rate_per_second - scale).abs() < 1e-9 * scale);
         }
-    }
+    });
+}
 
-    /// The b-ECC scenario's second-error probability is monotone in
-    /// both the error rate and the stripe size, and bounded by 1.
-    #[test]
-    fn becc_monotonicity(
-        rate_exp in -7.0f64..-3.0,
-        bits_pow in 3u32..8,
-    ) {
+/// The b-ECC scenario's second-error probability is monotone in
+/// both the error rate and the stripe size, and bounded by 1.
+#[test]
+fn becc_monotonicity() {
+    run_cases(256, |g: &mut Gen| {
+        let rate_exp = g.f64_in(-7.0, -3.0);
+        let bits_pow = g.u32_in(3, 7);
         let mut s = BitEccScenario::paper_example(1e6);
         s.error_rate_per_shift = 10f64.powf(rate_exp);
         s.stripe_bits = 1 << bits_pow;
         let p = s.second_error_probability();
-        prop_assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p));
         let mut bigger = s;
         bigger.stripe_bits *= 2;
-        prop_assert!(bigger.second_error_probability() >= p);
+        assert!(bigger.second_error_probability() >= p);
         let mut worse = s;
         worse.error_rate_per_shift *= 2.0;
-        prop_assert!(worse.second_error_probability() >= p);
-    }
+        assert!(worse.second_error_probability() >= p);
+    });
+}
 
-    /// MTTF methods never return negative or NaN values.
-    #[test]
-    fn mttf_outputs_sane(d in 1u32..=7, int_exp in 0.0f64..12.0) {
+/// MTTF methods never return negative or NaN values.
+#[test]
+fn mttf_outputs_sane() {
+    run_cases(256, |g: &mut Gen| {
+        let d = g.u32_in(1, 7);
+        let int_exp = g.f64_in(0.0, 12.0);
         let mix = ShiftMix::single(d);
-        for kind in [ProtectionKind::None, ProtectionKind::Sed, ProtectionKind::SECDED] {
+        for kind in [
+            ProtectionKind::None,
+            ProtectionKind::Sed,
+            ProtectionKind::SECDED,
+        ] {
             let r = ReliabilityReport::analytic(kind, &mix, 10f64.powf(int_exp));
             for v in [r.sdc_mttf().as_secs(), r.due_mttf().as_secs()] {
-                prop_assert!(!v.is_nan());
-                prop_assert!(v > 0.0);
+                assert!(!v.is_nan());
+                assert!(v > 0.0);
             }
         }
-    }
+    });
 }

@@ -194,7 +194,9 @@ mod tests {
         let p = WorkloadProfile::by_name("blackscholes").unwrap();
         let mut g = TraceGenerator::new(p, 2);
         let n = 100_000;
-        let total: u64 = (0..n).map(|_| g.next_access().gap_instructions as u64).sum();
+        let total: u64 = (0..n)
+            .map(|_| g.next_access().gap_instructions as u64)
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - p.gap_instructions).abs() < 0.5, "gap mean {mean}");
     }

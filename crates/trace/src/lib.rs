@@ -22,9 +22,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod generator;
 pub mod profile;
 pub mod replay;
-pub mod generator;
 
 pub use generator::{MemAccess, TraceGenerator};
 pub use profile::WorkloadProfile;

@@ -183,10 +183,7 @@ impl WorkloadProfile {
         frac(self.stream_fraction, "stream_fraction")?;
         frac(self.write_fraction, "write_fraction")?;
         if self.hot_fraction + self.stream_fraction > 1.0 {
-            return Err(format!(
-                "hot + stream fractions exceed 1 for {}",
-                self.name
-            ));
+            return Err(format!("hot + stream fractions exceed 1 for {}", self.name));
         }
         if self.hot_set_bytes > self.working_set_bytes {
             return Err(format!("hot set exceeds working set for {}", self.name));

@@ -110,7 +110,10 @@ pub fn read_trace<R: Read>(mut source: R) -> Result<Vec<MemAccess>, ReplayError>
     for got in 0..count {
         if let Err(e) = source.read_exact(&mut rec) {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                return Err(ReplayError::Truncated { expected: count, got });
+                return Err(ReplayError::Truncated {
+                    expected: count,
+                    got,
+                });
             }
             return Err(e.into());
         }
@@ -187,7 +190,10 @@ mod tests {
         write_trace(&mut buf, &accesses).unwrap();
         buf.truncate(buf.len() - 5);
         match read_trace(buf.as_slice()) {
-            Err(ReplayError::Truncated { expected: 10, got: 9 }) => {}
+            Err(ReplayError::Truncated {
+                expected: 10,
+                got: 9,
+            }) => {}
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -202,7 +208,10 @@ mod tests {
 
     #[test]
     fn errors_display_usefully() {
-        let e = ReplayError::Truncated { expected: 5, got: 2 };
+        let e = ReplayError::Truncated {
+            expected: 5,
+            got: 2,
+        };
         assert!(e.to_string().contains("2 of 5"));
         assert!(ReplayError::BadMagic.to_string().contains("magic"));
     }

@@ -1,34 +1,41 @@
 //! Property tests for the synthetic trace generator and the replay
 //! format.
 
-use proptest::prelude::*;
 use rtm_trace::replay::{read_trace, write_trace};
 use rtm_trace::{MemAccess, TraceGenerator, WorkloadProfile};
+use rtm_util::check::{run_cases, Gen};
 
 fn profiles() -> Vec<WorkloadProfile> {
     WorkloadProfile::parsec().to_vec()
 }
 
-proptest! {
-    /// Every profile generates addresses inside its working set, word
-    /// aligned, with cores cycling over the configured count.
-    #[test]
-    fn generation_respects_profile(pidx in 0usize..12, seed in 0u64..1000, n in 1usize..500) {
+/// Every profile generates addresses inside its working set, word
+/// aligned, with cores cycling over the configured count.
+#[test]
+fn generation_respects_profile() {
+    run_cases(64, |g: &mut Gen| {
+        let pidx = g.usize_in(0, 11);
+        let seed = g.u64_in(0, 999);
+        let n = g.usize_in(1, 499);
         let p = profiles()[pidx];
-        let mut g = TraceGenerator::new(p, seed);
+        let mut gen = TraceGenerator::new(p, seed);
         for i in 0..n {
-            let a = g.next_access();
-            prop_assert!(a.addr < p.working_set_bytes);
-            prop_assert_eq!(a.addr % 8, 0);
-            prop_assert_eq!(a.core as usize, i % 4);
+            let a = gen.next_access();
+            assert!(a.addr < p.working_set_bytes);
+            assert_eq!(a.addr % 8, 0);
+            assert_eq!(a.core as usize, i % 4);
         }
-        prop_assert_eq!(g.generated(), n as u64);
-    }
+        assert_eq!(gen.generated(), n as u64);
+    });
+}
 
-    /// Two generators with the same seed stay in lock-step regardless
-    /// of how the draws are interleaved.
-    #[test]
-    fn determinism_under_interleaving(seed in 0u64..1000, chunks in proptest::collection::vec(1usize..50, 1..8)) {
+/// Two generators with the same seed stay in lock-step regardless
+/// of how the draws are interleaved.
+#[test]
+fn determinism_under_interleaving() {
+    run_cases(64, |g: &mut Gen| {
+        let seed = g.u64_in(0, 999);
+        let chunks = g.vec_of(1, 7, |g| g.usize_in(1, 49));
         let p = WorkloadProfile::by_name("ferret").unwrap();
         let mut a = TraceGenerator::new(p, seed);
         let mut b = TraceGenerator::new(p, seed);
@@ -39,39 +46,36 @@ proptest! {
         for c in &chunks {
             twos.extend(b.take_vec(*c));
         }
-        prop_assert_eq!(ones, twos);
-    }
+        assert_eq!(ones, twos);
+    });
+}
 
-    /// Replay round-trips arbitrary access records, not just generated
-    /// ones (full field-range coverage).
-    #[test]
-    fn replay_round_trips_arbitrary_records(
-        records in proptest::collection::vec(
-            (any::<u64>(), any::<u32>(), any::<u8>(), any::<bool>()),
-            0..200,
-        )
-    ) {
-        let accesses: Vec<MemAccess> = records
-            .iter()
-            .map(|&(addr, gap, core, w)| MemAccess {
-                addr,
-                gap_instructions: gap,
-                core,
-                is_write: w,
-            })
-            .collect();
+/// Replay round-trips arbitrary access records, not just generated
+/// ones (full field-range coverage).
+#[test]
+fn replay_round_trips_arbitrary_records() {
+    run_cases(64, |g: &mut Gen| {
+        let accesses = g.vec_of(0, 199, |g| MemAccess {
+            addr: g.u64(),
+            gap_instructions: g.u32_in(0, u32::MAX),
+            core: g.u32_in(0, 255) as u8,
+            is_write: g.bool(),
+        });
         let mut buf = Vec::new();
         write_trace(&mut buf, &accesses).expect("vec write");
-        prop_assert_eq!(read_trace(buf.as_slice()).expect("read"), accesses);
-    }
+        assert_eq!(read_trace(buf.as_slice()).expect("read"), accesses);
+    });
+}
 
-    /// The serialised size is exactly header + 14 bytes per record.
-    #[test]
-    fn replay_size_is_exact(n in 0usize..300) {
+/// The serialised size is exactly header + 14 bytes per record.
+#[test]
+fn replay_size_is_exact() {
+    run_cases(64, |g: &mut Gen| {
+        let n = g.usize_in(0, 299);
         let p = WorkloadProfile::by_name("vips").unwrap();
         let accesses = TraceGenerator::new(p, 1).take_vec(n);
         let mut buf = Vec::new();
         write_trace(&mut buf, &accesses).expect("vec write");
-        prop_assert_eq!(buf.len(), 14 + n * 14);
-    }
+        assert_eq!(buf.len(), 14 + n * 14);
+    });
 }

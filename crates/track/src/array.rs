@@ -220,7 +220,8 @@ mod tests {
         let mut a = small_array();
         // Write domain 3 on all stripes: bits 1,0,1,0.
         a.seek(a.geometry().head_position_for(3)).unwrap();
-        a.write_bits(3, &[Bit::One, Bit::Zero, Bit::One, Bit::Zero]).unwrap();
+        a.write_bits(3, &[Bit::One, Bit::Zero, Bit::One, Bit::Zero])
+            .unwrap();
         let got = a.read_bits(3);
         assert_eq!(got, vec![Bit::One, Bit::Zero, Bit::One, Bit::Zero]);
         assert!(a.is_synchronised());
@@ -273,15 +274,20 @@ mod tests {
     #[test]
     fn misaligned_stripe_rejects_write_but_others_succeed() {
         let mut a = small_array();
-        let mut faults =
-            ScriptedFaultModel::new([ShiftOutcome::StopInMiddle { lower: 0, frac: 0.3 }]);
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::StopInMiddle {
+            lower: 0,
+            frac: 0.3,
+        }]);
         let target = a.geometry().head_position_for(3) as i64;
         a.shift(target, &mut faults);
         let err = a.write_bits(3, &[Bit::One; 4]);
         assert_eq!(err, Err(StripeError::Misaligned));
         // The clean stripes were still written.
         assert_eq!(
-            a.stripe(1).stripe().read_slot(a.geometry().port_slot(0)).unwrap(),
+            a.stripe(1)
+                .stripe()
+                .read_slot(a.geometry().port_slot(0))
+                .unwrap(),
             Bit::One
         );
     }

@@ -141,7 +141,10 @@ mod tests {
     fn scripted_replays_then_succeeds() {
         let mut m = ScriptedFaultModel::new([
             ShiftOutcome::Pinned { offset: 1 },
-            ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 },
+            ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.5,
+            },
         ]);
         assert_eq!(m.remaining(), 2);
         assert_eq!(m.sample(3), ShiftOutcome::Pinned { offset: 1 });

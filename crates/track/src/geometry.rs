@@ -36,7 +36,10 @@ impl fmt::Display for GeometryError {
         match self {
             GeometryError::EmptyData => write!(f, "stripe must hold at least one data domain"),
             GeometryError::NoPorts => write!(f, "stripe needs at least one access port"),
-            GeometryError::UnevenSegments { data_len, num_ports } => write!(
+            GeometryError::UnevenSegments {
+                data_len,
+                num_ports,
+            } => write!(
                 f,
                 "data length {data_len} is not divisible by port count {num_ports}"
             ),
@@ -69,9 +72,15 @@ impl StripeGeometry {
             return Err(GeometryError::NoPorts);
         }
         if !data_len.is_multiple_of(num_ports) {
-            return Err(GeometryError::UnevenSegments { data_len, num_ports });
+            return Err(GeometryError::UnevenSegments {
+                data_len,
+                num_ports,
+            });
         }
-        Ok(Self { data_len, num_ports })
+        Ok(Self {
+            data_len,
+            num_ports,
+        })
     }
 
     /// The paper's default stripe: 64 data domains, 8 ports (Lseg = 8).
@@ -149,7 +158,10 @@ impl StripeGeometry {
     ///
     /// Panics if either position exceeds [`StripeGeometry::max_shift`].
     pub fn shift_between(&self, from: usize, to: usize) -> i64 {
-        assert!(from <= self.max_shift(), "head position {from} out of range");
+        assert!(
+            from <= self.max_shift(),
+            "head position {from} out of range"
+        );
         assert!(to <= self.max_shift(), "head position {to} out of range");
         to as i64 - from as i64
     }
@@ -199,7 +211,10 @@ mod tests {
         assert_eq!(StripeGeometry::new(8, 0), Err(GeometryError::NoPorts));
         assert_eq!(
             StripeGeometry::new(10, 3),
-            Err(GeometryError::UnevenSegments { data_len: 10, num_ports: 3 })
+            Err(GeometryError::UnevenSegments {
+                data_len: 10,
+                num_ports: 3
+            })
         );
     }
 

@@ -66,12 +66,18 @@ pub struct AccessPort {
 impl AccessPort {
     /// Creates a read-only port over `slot`.
     pub fn read_only(slot: usize) -> Self {
-        Self { kind: PortKind::ReadOnly, slot }
+        Self {
+            kind: PortKind::ReadOnly,
+            slot,
+        }
     }
 
     /// Creates a read/write port over `slot`.
     pub fn read_write(slot: usize) -> Self {
-        Self { kind: PortKind::ReadWrite, slot }
+        Self {
+            kind: PortKind::ReadWrite,
+            slot,
+        }
     }
 
     /// The port kind.
@@ -199,7 +205,10 @@ mod tests {
     fn sense_decodes_all_states() {
         let s = stripe_with(&[Bit::Zero, Bit::One, Bit::Unknown]);
         assert_eq!(AccessPort::read_only(0).sense(&s).unwrap(), Resistance::Low);
-        assert_eq!(AccessPort::read_only(1).sense(&s).unwrap(), Resistance::High);
+        assert_eq!(
+            AccessPort::read_only(1).sense(&s).unwrap(),
+            Resistance::High
+        );
         assert_eq!(
             AccessPort::read_only(2).sense(&s).unwrap(),
             Resistance::Indeterminate
@@ -212,7 +221,10 @@ mod tests {
         let mut s = stripe_with(&[Bit::One; 4]);
         s.apply_shift(
             1,
-            rtm_model::shift::ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 },
+            rtm_model::shift::ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.5,
+            },
         );
         let r = AccessPort::read_only(2).sense(&s).unwrap();
         assert_eq!(r, Resistance::Indeterminate);
@@ -248,13 +260,13 @@ mod tests {
         let mut s = stripe_with(&[Bit::Zero; 4]);
         s.apply_shift(
             1,
-            rtm_model::shift::ShiftOutcome::StopInMiddle { lower: 0, frac: 0.3 },
+            rtm_model::shift::ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.3,
+            },
         );
         let port = AccessPort::read_write(1);
-        assert_eq!(
-            port.write(&mut s, Bit::One),
-            Err(StripeError::Misaligned)
-        );
+        assert_eq!(port.write(&mut s, Bit::One), Err(StripeError::Misaligned));
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl fmt::Display for StripeError {
                 write!(f, "slot {slot} outside stripe of length {len}")
             }
             StripeError::Misaligned => {
-                write!(f, "stripe is in a stop-in-middle state; access is indeterminate")
+                write!(
+                    f,
+                    "stripe is in a stop-in-middle state; access is indeterminate"
+                )
             }
             StripeError::HeadOutOfRange { head, max } => {
                 write!(f, "head position {head} outside [0, {max}]")
@@ -138,7 +141,10 @@ impl Stripe {
             .cells
             .get(slot)
             .copied()
-            .ok_or(StripeError::SlotOutOfRange { slot, len: self.cells.len() })?;
+            .ok_or(StripeError::SlotOutOfRange {
+                slot,
+                len: self.cells.len(),
+            })?;
         if self.aligned {
             Ok(cell)
         } else {
@@ -452,7 +458,13 @@ mod tests {
     #[test]
     fn stop_in_middle_blocks_reads_and_writes() {
         let mut s = Stripe::with_cells(vec![Bit::One; 6]);
-        s.apply_shift(2, ShiftOutcome::StopInMiddle { lower: 0, frac: 0.4 });
+        s.apply_shift(
+            2,
+            ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.4,
+            },
+        );
         assert!(!s.is_aligned());
         assert_eq!(s.read_slot(3).unwrap(), Bit::Unknown);
         assert_eq!(s.write_slot(3, Bit::Zero), Err(StripeError::Misaligned));

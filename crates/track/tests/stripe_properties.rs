@@ -1,24 +1,37 @@
 //! Property tests for physical stripe movement.
 
-use proptest::prelude::*;
 use rtm_model::shift::ShiftOutcome;
 use rtm_track::bit::Bit;
 use rtm_track::stripe::Stripe;
+use rtm_util::check::{run_cases, Gen};
 
-proptest! {
-    /// Movement composition: applying moves m1 then m2 leaves any cell
-    /// that never left the wire equal to its original neighbour at
-    /// offset m1 + m2.
-    #[test]
-    fn movement_composes(
-        data in proptest::collection::vec(any::<bool>(), 16..48),
-        m1 in -5i64..=5,
-        m2 in -5i64..=5,
-    ) {
+/// A nonzero intended distance in `[-7, -1] ∪ [1, 7]`.
+fn nonzero_intended(g: &mut Gen) -> i64 {
+    let mag = g.i64_in(1, 7);
+    if g.bool() {
+        mag
+    } else {
+        -mag
+    }
+}
+
+/// Movement composition: applying moves m1 then m2 leaves any cell
+/// that never left the wire equal to its original neighbour at
+/// offset m1 + m2.
+#[test]
+fn movement_composes() {
+    run_cases(256, |g: &mut Gen| {
+        let data = g.vec_of(16, 47, |g| g.bool());
+        let m1 = g.i64_in(-5, 5);
+        let m2 = g.i64_in(-5, 5);
         let bits: Vec<Bit> = data.iter().copied().map(Bit::from).collect();
         let mut s = Stripe::with_cells(bits.clone());
-        if m1 != 0 { s.apply_movement(m1, true); }
-        if m2 != 0 { s.apply_movement(m2, true); }
+        if m1 != 0 {
+            s.apply_movement(m1, true);
+        }
+        if m2 != 0 {
+            s.apply_movement(m2, true);
+        }
         let net = m1 + m2;
         let len = bits.len() as i64;
         for (i, &orig) in bits.iter().enumerate() {
@@ -32,15 +45,18 @@ proptest! {
             if mid < 0 || mid >= len {
                 continue;
             }
-            prop_assert_eq!(s.cells()[dest as usize], orig, "cell {}", i);
+            assert_eq!(s.cells()[dest as usize], orig, "cell {i}");
         }
-        prop_assert_eq!(s.actual_offset(), net);
-    }
+        assert_eq!(s.actual_offset(), net);
+    });
+}
 
-    /// Cells that fall off either end are replaced by Unknown and never
-    /// resurrect.
-    #[test]
-    fn fallen_cells_stay_unknown(shift in 1i64..8) {
+/// Cells that fall off either end are replaced by Unknown and never
+/// resurrect.
+#[test]
+fn fallen_cells_stay_unknown() {
+    run_cases(64, |g: &mut Gen| {
+        let shift = g.i64_in(1, 7);
         let bits: Vec<Bit> = (0..16).map(|i| Bit::from(i % 2 == 0)).collect();
         let mut s = Stripe::with_cells(bits);
         s.apply_movement(shift, true);
@@ -48,35 +64,46 @@ proptest! {
         // The rightmost `shift` cells crossed the right edge and are gone.
         let len = s.len();
         for i in (len - shift as usize)..len {
-            prop_assert_eq!(s.cells()[i], Bit::Unknown, "slot {}", i);
+            assert_eq!(s.cells()[i], Bit::Unknown, "slot {i}");
         }
-    }
+    });
+}
 
-    /// apply_shift with a Pinned outcome always realigns; with a
-    /// StopInMiddle outcome always misaligns; realign() restores.
-    #[test]
-    fn alignment_tracking(intended in prop_oneof![(-7i64..=-1), (1i64..=7)], offset in -2i32..=2) {
+/// apply_shift with a Pinned outcome always realigns; with a
+/// StopInMiddle outcome always misaligns; realign() restores.
+#[test]
+fn alignment_tracking() {
+    run_cases(256, |g: &mut Gen| {
+        let intended = nonzero_intended(g);
+        let offset = g.i32_in(-2, 2);
         let mut s = Stripe::new(32);
         s.apply_shift(intended, ShiftOutcome::Pinned { offset });
-        prop_assert!(s.is_aligned());
-        s.apply_shift(intended, ShiftOutcome::StopInMiddle { lower: 0, frac: 0.5 });
-        prop_assert!(!s.is_aligned());
-        prop_assert_eq!(s.read_slot(10).unwrap(), Bit::Unknown);
+        assert!(s.is_aligned());
+        s.apply_shift(
+            intended,
+            ShiftOutcome::StopInMiddle {
+                lower: 0,
+                frac: 0.5,
+            },
+        );
+        assert!(!s.is_aligned());
+        assert_eq!(s.read_slot(10).unwrap(), Bit::Unknown);
         s.realign();
-        prop_assert!(s.is_aligned());
-    }
+        assert!(s.is_aligned());
+    });
+}
 
-    /// The realised movement of apply_shift matches intended plus the
-    /// direction-adjusted offset.
-    #[test]
-    fn realised_movement_formula(
-        intended in prop_oneof![(-7i64..=-1), (1i64..=7)],
-        offset in -2i32..=2,
-    ) {
+/// The realised movement of apply_shift matches intended plus the
+/// direction-adjusted offset.
+#[test]
+fn realised_movement_formula() {
+    run_cases(256, |g: &mut Gen| {
+        let intended = nonzero_intended(g);
+        let offset = g.i32_in(-2, 2);
         let mut s = Stripe::new(64);
         let before = s.actual_offset();
         let moved = s.apply_shift(intended, ShiftOutcome::Pinned { offset });
-        prop_assert_eq!(moved, intended + intended.signum() * offset as i64);
-        prop_assert_eq!(s.actual_offset() - before, moved);
-    }
+        assert_eq!(moved, intended + intended.signum() * offset as i64);
+        assert_eq!(s.actual_offset() - before, moved);
+    });
 }

@@ -54,8 +54,16 @@ pub fn linear_fit(points: &[(f64, f64)]) -> Option<LinearFit> {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    Some(LinearFit { slope, intercept, r_squared })
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    Some(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+    })
 }
 
 /// A fitted quadratic `y ≈ c0 + c1·x + c2·x²`.
@@ -94,11 +102,7 @@ pub fn quadratic_fit(points: &[(f64, f64)]) -> Option<QuadraticFit> {
             xp *= x;
         }
     }
-    let m = [
-        [s[0], s[1], s[2]],
-        [s[1], s[2], s[3]],
-        [s[2], s[3], s[4]],
-    ];
+    let m = [[s[0], s[1], s[2]], [s[1], s[2], s[3]], [s[2], s[3], s[4]]];
     solve3(m, t).map(|coeffs| QuadraticFit { coeffs })
 }
 
@@ -187,7 +191,10 @@ pub fn gaussian_fit(samples: &[f64]) -> Option<GaussianFit> {
     if sigma <= 0.0 {
         return None;
     }
-    Some(GaussianFit { mu: stats.mean(), sigma })
+    Some(GaussianFit {
+        mu: stats.mean(),
+        sigma,
+    })
 }
 
 #[cfg(test)]
@@ -243,7 +250,10 @@ mod tests {
 
     #[test]
     fn gaussian_tail_consistency() {
-        let g = GaussianFit { mu: 0.0, sigma: 1.0 };
+        let g = GaussianFit {
+            mu: 0.0,
+            sigma: 1.0,
+        };
         // sf at mu is 0.5.
         assert!((g.sf(0.0) - 0.5).abs() < 1e-12);
         // ln_sf matches linear sf in a moderate range.

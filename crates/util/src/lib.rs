@@ -14,7 +14,9 @@
 //! * [`fit`] — least-squares helpers used to extrapolate Monte-Carlo tails
 //!   the same way the paper fits its 10⁹-sample distribution;
 //! * [`rng`] — deterministic seeding utilities so every experiment is
-//!   reproducible bit-for-bit.
+//!   reproducible bit-for-bit;
+//! * [`check`] — a tiny seeded property-check harness the test suites
+//!   use in place of an external framework (offline builds).
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod fit;
 pub mod math;
 pub mod rng;

@@ -161,7 +161,10 @@ pub fn ln_normal_sf(x: f64) -> f64 {
 ///
 /// Panics if `p` is outside `(0, 1)`.
 pub fn normal_quantile(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "normal_quantile requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "normal_quantile requires p in (0,1), got {p}"
+    );
     // Rational approximation coefficients (central + tail regions).
     const A: [f64; 6] = [
         -3.969683028665376e+01,
@@ -335,7 +338,10 @@ mod tests {
         for &p in &[1e-12, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-9] {
             let x = normal_quantile(p);
             let back = 1.0 - normal_sf(x);
-            assert!((back - p).abs() < 1e-9 * p.max(1e-3), "p = {p}, x = {x}, back = {back}");
+            assert!(
+                (back - p).abs() < 1e-9 * p.max(1e-3),
+                "p = {p}, x = {x}, back = {back}"
+            );
         }
     }
 

@@ -5,12 +5,13 @@
 //! derives independent streams from it, so repro binaries are bit-for-bit
 //! reproducible while sub-components stay statistically decoupled.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-/// Creates a seeded [`StdRng`] for reproducible experiments.
-pub fn seeded_rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+/// Creates a seeded general-purpose generator for reproducible
+/// experiments.
+///
+/// The state is pre-mixed through SplitMix64 so nearby integer seeds
+/// (0, 1, 2, …) still start from well-separated states.
+pub fn seeded_rng(seed: u64) -> SmallRng64 {
+    SmallRng64::new(splitmix64(seed))
 }
 
 /// Derives an independent sub-seed from a parent seed and a stream label.
@@ -55,7 +56,11 @@ impl SmallRng64 {
     /// Creates a generator from a seed (zero is remapped internally so the
     /// generator never sticks).
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x853C_49E6_748F_EA9B } else { seed };
+        let state = if seed == 0 {
+            0x853C_49E6_748F_EA9B
+        } else {
+            seed
+        };
         Self { state }
     }
 
@@ -154,7 +159,11 @@ mod tests {
         let mut r = SmallRng64::new(1234);
         let stats: crate::stats::OnlineStats = (0..200_000).map(|_| r.next_gaussian()).collect();
         assert!(stats.mean().abs() < 0.02, "mean {}", stats.mean());
-        assert!((stats.std_dev() - 1.0).abs() < 0.02, "sd {}", stats.std_dev());
+        assert!(
+            (stats.std_dev() - 1.0).abs() < 0.02,
+            "sd {}",
+            stats.std_dev()
+        );
     }
 
     #[test]
@@ -167,9 +176,15 @@ mod tests {
 
     #[test]
     fn seeded_rng_reproducible() {
-        use rand::RngCore;
         let mut a = seeded_rng(99);
         let mut b = seeded_rng(99);
         assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn seeded_rng_separates_adjacent_seeds() {
+        let mut a = seeded_rng(0);
+        let mut b = seeded_rng(1);
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 }

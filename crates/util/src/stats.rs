@@ -92,9 +92,7 @@ impl OnlineStats {
         let n = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -309,7 +307,9 @@ mod tests {
 
     #[test]
     fn online_stats_moments() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Unbiased variance of this classic data set is 32/7.
         assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
@@ -360,7 +360,9 @@ mod tests {
         for i in 0..100 {
             h.record(i as f64 / 100.0);
         }
-        let integral: f64 = (0..h.num_bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        let integral: f64 = (0..h.num_bins())
+            .map(|i| h.density(i) * h.bin_width())
+            .sum();
         assert!((integral - 1.0).abs() < 1e-12);
     }
 

@@ -1,102 +1,130 @@
-//! Property tests for the special-function substrate.
+//! Property tests for the special-function substrate, driven by the
+//! in-tree [`rtm_util::check`] harness.
 
-use proptest::prelude::*;
+use rtm_util::check::{run_cases, Gen};
 use rtm_util::fit::{gaussian_fit, linear_fit, quadratic_fit};
 use rtm_util::math::{
     any_of_n, erf, erfc, ln_normal_sf, log_add_exp, log_sum_exp, normal_quantile, normal_sf,
 };
 use rtm_util::stats::{wilson_interval, OnlineStats};
 
-proptest! {
-    /// erf is odd, bounded, and monotone.
-    #[test]
-    fn erf_is_odd_bounded_monotone(x in -6.0f64..6.0, dx in 0.001f64..1.0) {
-        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
-        prop_assert!(erf(x).abs() <= 1.0);
+/// erf is odd, bounded, and monotone.
+#[test]
+fn erf_is_odd_bounded_monotone() {
+    run_cases(256, |g: &mut Gen| {
+        let x = g.f64_in(-6.0, 6.0);
+        let dx = g.f64_in(0.001, 1.0);
+        assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        assert!(erf(x).abs() <= 1.0);
         // Weakly monotone everywhere; strictly so away from the f64
         // saturation plateau (erf(x) rounds to ±1 beyond |x| ≈ 5.9).
-        prop_assert!(erf(x + dx) >= erf(x));
+        assert!(erf(x + dx) >= erf(x));
         if x.abs() < 4.0 && (x + dx).abs() < 4.0 {
-            prop_assert!(erf(x + dx) > erf(x));
+            assert!(erf(x + dx) > erf(x));
         }
-    }
+    });
+}
 
-    /// erf + erfc = 1 across the whole range.
-    #[test]
-    fn erf_erfc_complement(x in -8.0f64..8.0) {
-        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-11);
-    }
+/// erf + erfc = 1 across the whole range.
+#[test]
+fn erf_erfc_complement() {
+    run_cases(256, |g: &mut Gen| {
+        let x = g.f64_in(-8.0, 8.0);
+        assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-11);
+    });
+}
 
-    /// ln_normal_sf agrees with the linear version wherever the linear
-    /// version is representable.
-    #[test]
-    fn log_tail_matches_linear(x in -5.0f64..8.0) {
+/// ln_normal_sf agrees with the linear version wherever the linear
+/// version is representable.
+#[test]
+fn log_tail_matches_linear() {
+    run_cases(256, |g: &mut Gen| {
+        let x = g.f64_in(-5.0, 8.0);
         let lin = normal_sf(x);
-        prop_assert!(lin > 0.0);
-        prop_assert!((ln_normal_sf(x) - lin.ln()).abs() < 1e-8);
-    }
+        assert!(lin > 0.0);
+        assert!((ln_normal_sf(x) - lin.ln()).abs() < 1e-8);
+    });
+}
 
-    /// Quantile inverts the CDF.
-    #[test]
-    fn quantile_inverts_cdf(p in 1e-10f64..0.999_999_9) {
+/// Quantile inverts the CDF.
+#[test]
+fn quantile_inverts_cdf() {
+    run_cases(256, |g: &mut Gen| {
+        let p = g.f64_in(1e-10, 0.999_999_9);
         let x = normal_quantile(p);
         let back = 1.0 - normal_sf(x);
-        prop_assert!((back - p).abs() < 1e-8 * p.max(1e-4), "p {p}, back {back}");
-    }
+        assert!((back - p).abs() < 1e-8 * p.max(1e-4), "p {p}, back {back}");
+    });
+}
 
-    /// log_sum_exp equals the naive sum when safe, and is permutation
-    /// invariant.
-    #[test]
-    fn log_sum_exp_correct(mut xs in proptest::collection::vec(-20.0f64..20.0, 1..20)) {
+/// log_sum_exp equals the naive sum when safe, and is permutation
+/// invariant.
+#[test]
+fn log_sum_exp_correct() {
+    run_cases(256, |g: &mut Gen| {
+        let mut xs = g.vec_of(1, 19, |g| g.f64_in(-20.0, 20.0));
         let naive: f64 = xs.iter().map(|x| x.exp()).sum::<f64>().ln();
         let lse = log_sum_exp(&xs);
-        prop_assert!((lse - naive).abs() < 1e-9);
+        assert!((lse - naive).abs() < 1e-9);
         xs.reverse();
-        prop_assert!((log_sum_exp(&xs) - lse).abs() < 1e-9);
-    }
+        assert!((log_sum_exp(&xs) - lse).abs() < 1e-9);
+    });
+}
 
-    /// log_add_exp is commutative and consistent with log_sum_exp.
-    #[test]
-    fn log_add_exp_consistent(a in -500.0f64..500.0, b in -500.0f64..500.0) {
+/// log_add_exp is commutative and consistent with log_sum_exp.
+#[test]
+fn log_add_exp_consistent() {
+    run_cases(256, |g: &mut Gen| {
+        let a = g.f64_in(-500.0, 500.0);
+        let b = g.f64_in(-500.0, 500.0);
         let ab = log_add_exp(a, b);
-        prop_assert!((ab - log_add_exp(b, a)).abs() < 1e-12);
+        assert!((ab - log_add_exp(b, a)).abs() < 1e-12);
         if a.max(b) < 20.0 && a.min(b) > -20.0 {
-            prop_assert!((ab - log_sum_exp(&[a, b])).abs() < 1e-10);
+            assert!((ab - log_sum_exp(&[a, b])).abs() < 1e-10);
         }
-    }
+    });
+}
 
-    /// any_of_n is within [max single, 1], monotone in both arguments.
-    #[test]
-    fn any_of_n_bounds(p in 1e-12f64..0.5, n in 1.0f64..1e6) {
+/// any_of_n is within [max single, 1], monotone in both arguments.
+#[test]
+fn any_of_n_bounds() {
+    run_cases(256, |g: &mut Gen| {
+        let p = g.f64_in(1e-12, 0.5);
+        let n = g.f64_in(1.0, 1e6);
         let v = any_of_n(p, n);
-        prop_assert!(v >= p * 0.999_999);
-        prop_assert!(v <= 1.0);
-        prop_assert!(any_of_n(p, n * 2.0) >= v);
-        prop_assert!(any_of_n((p * 2.0).min(1.0), n) >= v);
+        assert!(v >= p * 0.999_999);
+        assert!(v <= 1.0);
+        assert!(any_of_n(p, n * 2.0) >= v);
+        assert!(any_of_n((p * 2.0).min(1.0), n) >= v);
         // Union bound from above.
-        prop_assert!(v <= (p * n).min(1.0) + 1e-12);
-    }
+        assert!(v <= (p * n).min(1.0) + 1e-12);
+    });
+}
 
-    /// Wilson interval always contains the point estimate and is
-    /// monotone in confidence.
-    #[test]
-    fn wilson_contains_point(s in 0u64..1000, extra in 0u64..1000) {
+/// Wilson interval always contains the point estimate and is monotone
+/// in confidence.
+#[test]
+fn wilson_contains_point() {
+    run_cases(256, |g: &mut Gen| {
+        let s = g.u64_in(0, 999);
+        let extra = g.u64_in(0, 999);
         let n = s + extra.max(1);
         let p = s as f64 / n as f64;
         let (lo95, hi95) = wilson_interval(s, n, 1.96);
-        prop_assert!(lo95 <= p + 1e-12 && p <= hi95 + 1e-12);
+        assert!(lo95 <= p + 1e-12 && p <= hi95 + 1e-12);
         let (lo99, hi99) = wilson_interval(s, n, 2.58);
-        prop_assert!(lo99 <= lo95 + 1e-12 && hi95 <= hi99 + 1e-12);
-    }
+        assert!(lo99 <= lo95 + 1e-12 && hi95 <= hi99 + 1e-12);
+    });
+}
 
-    /// Linear fit recovers exact lines through noisy-free points, and
-    /// the quadratic fit subsumes it.
-    #[test]
-    fn fits_recover_polynomials(
-        slope in -10.0f64..10.0,
-        intercept in -10.0f64..10.0,
-        n in 3usize..30,
-    ) {
+/// Linear fit recovers exact lines through noise-free points, and the
+/// quadratic fit subsumes it.
+#[test]
+fn fits_recover_polynomials() {
+    run_cases(128, |g: &mut Gen| {
+        let slope = g.f64_in(-10.0, 10.0);
+        let intercept = g.f64_in(-10.0, 10.0);
+        let n = g.usize_in(3, 29);
         let pts: Vec<(f64, f64)> = (0..n)
             .map(|i| {
                 let x = i as f64 * 0.7 - 3.0;
@@ -104,36 +132,40 @@ proptest! {
             })
             .collect();
         let lin = linear_fit(&pts).expect("fit");
-        prop_assert!((lin.slope - slope).abs() < 1e-6);
-        prop_assert!((lin.intercept - intercept).abs() < 1e-6);
+        assert!((lin.slope - slope).abs() < 1e-6);
+        assert!((lin.intercept - intercept).abs() < 1e-6);
         let quad = quadratic_fit(&pts).expect("fit");
-        prop_assert!(quad.coeffs[2].abs() < 1e-6, "no phantom curvature");
-    }
+        assert!(quad.coeffs[2].abs() < 1e-6, "no phantom curvature");
+    });
+}
 
-    /// Welford merge equals one-pass accumulation for any split point.
-    #[test]
-    fn welford_merge_any_split(
-        xs in proptest::collection::vec(-100.0f64..100.0, 2..100),
-        split_frac in 0.0f64..1.0,
-    ) {
+/// Welford merge equals one-pass accumulation for any split point.
+#[test]
+fn welford_merge_any_split() {
+    run_cases(128, |g: &mut Gen| {
+        let xs = g.vec_of(2, 99, |g| g.f64_in(-100.0, 100.0));
+        let split_frac = g.f64_in(0.0, 1.0);
         let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
         let full: OnlineStats = xs.iter().copied().collect();
         let mut a: OnlineStats = xs[..split].iter().copied().collect();
         let b: OnlineStats = xs[split..].iter().copied().collect();
         a.merge(&b);
-        prop_assert_eq!(a.count(), full.count());
-        prop_assert!((a.mean() - full.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - full.variance()).abs() < 1e-7);
-    }
+        assert_eq!(a.count(), full.count());
+        assert!((a.mean() - full.mean()).abs() < 1e-9);
+        assert!((a.variance() - full.variance()).abs() < 1e-7);
+    });
+}
 
-    /// Gaussian fit is translation-equivariant.
-    #[test]
-    fn gaussian_fit_translates(shift in -50.0f64..50.0) {
+/// Gaussian fit is translation-equivariant.
+#[test]
+fn gaussian_fit_translates() {
+    run_cases(128, |g: &mut Gen| {
+        let shift = g.f64_in(-50.0, 50.0);
         let base: Vec<f64> = (0..200).map(|i| (i as f64 * 0.737).sin() * 3.0).collect();
         let shifted: Vec<f64> = base.iter().map(|x| x + shift).collect();
         let f0 = gaussian_fit(&base).expect("fit");
         let f1 = gaussian_fit(&shifted).expect("fit");
-        prop_assert!((f1.mu - f0.mu - shift).abs() < 1e-9);
-        prop_assert!((f1.sigma - f0.sigma).abs() < 1e-9);
-    }
+        assert!((f1.mu - f0.mu - shift).abs() < 1e-9);
+        assert!((f1.sigma - f0.sigma).abs() < 1e-9);
+    });
 }

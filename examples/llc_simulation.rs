@@ -16,10 +16,7 @@ use hifi_rtm::util::units::format_mttf;
 fn main() {
     let mut args = std::env::args().skip(1);
     let workload = args.next().unwrap_or_else(|| "canneal".to_string());
-    let accesses: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(500_000);
+    let accesses: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(500_000);
 
     let Some(profile) = WorkloadProfile::by_name(&workload) else {
         eprintln!("unknown workload {workload}; pick one of:");

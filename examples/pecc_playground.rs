@@ -96,8 +96,5 @@ fn main() {
     // --- p-ECC-O discipline ---------------------------------------------
     println!("\np-ECC-O (overhead region) forces 1-step shift-and-write operations:");
     let o = PeccLayout::new(geometry, ProtectionKind::SECDED_O).expect("layout");
-    println!(
-        "  {} | max shift per op: {}",
-        o, o.max_shift_per_op
-    );
+    println!("  {} | max shift per op: {}", o, o.max_shift_per_op);
 }

@@ -34,7 +34,10 @@ fn main() {
     let geometry = *config.geometry();
     stripe.seek_checked(geometry.head_position_for(42), &mut ideal);
     stripe.write_domain(42, Bit::One).expect("write domain 42");
-    println!("\nwrote 1 to domain 42 (head position {})", stripe.believed_head());
+    println!(
+        "\nwrote 1 to domain 42 (head position {})",
+        stripe.believed_head()
+    );
 
     // 3. A shift suffers a +1 out-of-step error. Without p-ECC this
     //    would silently corrupt every later access; with SECDED p-ECC

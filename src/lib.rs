@@ -14,6 +14,7 @@ pub use rtm_core as core;
 pub use rtm_cost as cost;
 pub use rtm_mem as mem;
 pub use rtm_model as model;
+pub use rtm_obs as obs;
 pub use rtm_pecc as pecc;
 pub use rtm_reliability as reliability;
 pub use rtm_trace as trace;

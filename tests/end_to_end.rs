@@ -55,7 +55,10 @@ fn execution_time_ordering_follows_fig16() {
     assert!(unprot <= adaptive);
     assert!(adaptive <= pecc_o);
     // ferret's 64 MB working set thrashes the 4 MB SRAM LLC.
-    assert!(ideal < sram, "big LLC must win on a capacity-sensitive load");
+    assert!(
+        ideal < sram,
+        "big LLC must win on a capacity-sensitive load"
+    );
 }
 
 #[test]

@@ -57,15 +57,11 @@ fn physical_data_integrity_under_calibrated_faults() {
     // line's data intact (±1 slips repaired; ±2 at these rates are
     // ~1e-17 per run and will never fire).
     let faults = hifi_rtm::track::fault::CalibratedFaultModel::paper(7);
-    let mut c = PhysicalCache::new(
-        64 * 64,
-        16,
-        ProtectionKind::SECDED,
-        8,
-        Box::new(faults),
-    );
+    let mut c = PhysicalCache::new(64 * 64, 16, ProtectionKind::SECDED, 8, Box::new(faults));
     let pattern = |line: u64| -> Vec<Bit> {
-        (0..8).map(|i| Bit::from((line >> (i % 6)) & 1 == 1)).collect()
+        (0..8)
+            .map(|i| Bit::from((line >> (i % 6)) & 1 == 1))
+            .collect()
     };
     for line in 0..64u64 {
         c.access(line * 64, AccessKind::Write, Some(&pattern(line)));
