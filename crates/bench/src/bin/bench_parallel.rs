@@ -1,0 +1,143 @@
+//! Single- vs multi-thread wall-time comparison for the two hot paths
+//! the `rtm-par` pool serves: the Fig. 4 Monte-Carlo and the Fig. 14
+//! variant sweep. Emits a machine-readable `BENCH_parallel.json` and
+//! verifies that the multi-thread run reproduced the single-thread
+//! output bit for bit.
+//!
+//! ```text
+//! cargo run --release -p rtm-bench --bin bench-parallel
+//! cargo run --release -p rtm-bench --bin bench-parallel -- \
+//!     --quick --threads 4 --out BENCH_parallel.json
+//! ```
+//!
+//! Exits non-zero if any multi-thread output differs from the
+//! single-thread baseline, so CI can use it as a determinism gate.
+
+use rtm_core::experiments::{RtVariant, SimSweep, SweepSettings};
+use rtm_model::montecarlo::{position_pdf_with_threads, PositionPdf};
+use rtm_model::params::DeviceParams;
+use rtm_obs::json::Json;
+use std::time::Instant;
+
+/// One timed leg: wall seconds plus whatever the run produced.
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_secs_f64(), out)
+}
+
+fn fig4_mc(trials: u64, seed: u64, threads: usize) -> Vec<PositionPdf> {
+    let params = DeviceParams::table1();
+    [1u32, 4, 7]
+        .iter()
+        .map(|&d| {
+            position_pdf_with_threads(
+                &params,
+                d,
+                trials,
+                rtm_util::rng::derive_seed(seed, d as u64),
+                threads,
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = std::path::PathBuf::from("BENCH_parallel.json");
+    let mut threads = rtm_par::available_parallelism();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --out needs a path");
+                        std::process::exit(2);
+                    })
+                    .into();
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threads needs a positive count");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!("usage: bench-parallel [--quick] [--threads N] [--out file.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mc_trials: u64 = if quick { 200_000 } else { 2_000_000 };
+    let mut settings = if quick {
+        let mut s = SweepSettings::quick();
+        s.accesses = 60_000;
+        s.workloads = None;
+        s
+    } else {
+        SweepSettings::full()
+    };
+    settings.accesses = settings.accesses.min(500_000);
+
+    let mut benches = Vec::new();
+    let mut all_identical = true;
+    let mut record = |name: &str, t1: f64, tn: f64, identical: bool| {
+        eprintln!(
+            "{name}: 1 thread {t1:.3} s, {threads} threads {tn:.3} s \
+             ({:.2}x, outputs {})",
+            t1 / tn,
+            if identical { "identical" } else { "DIFFER" }
+        );
+        all_identical &= identical;
+        benches.push(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("secs_1_thread", Json::Num(t1)),
+            ("secs_n_threads", Json::Num(tn)),
+            ("speedup", Json::Num(t1 / tn)),
+            ("identical_output", Json::Bool(identical)),
+        ]));
+    };
+
+    eprintln!("fig4 Monte-Carlo ({mc_trials} trials x 3 panels)...");
+    let (t1, base) = timed(|| fig4_mc(mc_trials, 2015, 1));
+    let (tn, alt) = timed(|| fig4_mc(mc_trials, 2015, threads));
+    record("fig4_montecarlo", t1, tn, base == alt);
+
+    eprintln!(
+        "fig14 variant sweep ({} workloads x {} variants x {} accesses)...",
+        settings.profiles().len(),
+        RtVariant::ALL.len(),
+        settings.accesses
+    );
+    let (t1, base) = timed(|| SimSweep::run_variants_with_threads(&settings, &RtVariant::ALL, 1));
+    let (tn, alt) =
+        timed(|| SimSweep::run_variants_with_threads(&settings, &RtVariant::ALL, threads));
+    record("fig14_sweep", t1, tn, base.by_variant == alt.by_variant);
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rtm-bench-parallel/v1".to_string())),
+        ("threads", Json::Num(threads as f64)),
+        ("quick", Json::Bool(quick)),
+        ("mc_trials", Json::Num(mc_trials as f64)),
+        ("sweep_accesses", Json::Num(settings.accesses as f64)),
+        ("benches", Json::Arr(benches)),
+    ]);
+    if let Err(e) = rtm_obs::export::write_json(&out, &doc) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    eprintln!("wrote {}", out.display());
+    if !all_identical {
+        eprintln!("DETERMINISM REGRESSION: multi-thread output differs");
+        std::process::exit(1);
+    }
+}

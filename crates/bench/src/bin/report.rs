@@ -6,7 +6,7 @@
 //! cargo run --release -p rtm-bench --bin report -- --quick # ~30 s
 //! cargo run --release -p rtm-bench --bin report -- --out report.md
 //! cargo run --release -p rtm-bench --bin report -- \
-//!     --quick --metrics m.json --events e.json --progress
+//!     --quick --metrics m.json --events e.json --progress --threads 4
 //! ```
 //!
 //! Exits non-zero if any claim fails, so this doubles as a regression
@@ -34,6 +34,14 @@ fn main() {
             "--metrics" => metrics = Some(path_arg(&mut args, "--metrics").into()),
             "--events" => events = Some(path_arg(&mut args, "--events").into()),
             "--progress" => rtm_obs::set_progress(true),
+            "--threads" => {
+                let n: usize = path_arg(&mut args, "--threads").parse().unwrap_or(0);
+                if n == 0 {
+                    eprintln!("error: --threads needs a positive count");
+                    std::process::exit(2);
+                }
+                rtm_par::set_threads(n);
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
                 std::process::exit(2);

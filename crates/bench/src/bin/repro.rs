@@ -11,7 +11,9 @@
 //! `--metrics` / `--events` switch on the rtm-obs registry and shift
 //! transaction trace and dump their snapshots as JSON on exit;
 //! `--progress` prints heartbeat lines for long sweeps; `--accesses`
-//! overrides the per-cell trace length.
+//! overrides the per-cell trace length; `--threads N` sets the worker
+//! count for the Monte-Carlo and sweep fan-out (default: all cores;
+//! output is bit-identical for any value).
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
@@ -64,6 +66,16 @@ fn parse_args() -> Result<Options, String> {
                 events = Some(std::path::PathBuf::from(v));
             }
             "--progress" => progress = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a count")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("--threads: not a number: {v}"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                rtm_par::set_threads(n);
+            }
             "--accesses" => {
                 let v = args.next().ok_or("--accesses needs a count")?;
                 let n: u64 = v

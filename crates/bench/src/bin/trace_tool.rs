@@ -142,6 +142,7 @@ fn main() {
             });
             let mut sys = Hierarchy::new(choice);
             let r = sys.run_trace(&accesses);
+            r.record_metrics();
             println!("llc:           {choice}");
             println!("cycles:        {}", r.cycles);
             println!("llc miss rate: {:.2}%", r.llc.cache.miss_rate() * 100.0);

@@ -17,8 +17,8 @@
 
 use super::render_table;
 use rtm_cost::area::AreaModel;
-use rtm_model::montecarlo::position_pdf;
 use rtm_model::params::DeviceParams;
+use rtm_model::pdfcache::position_pdf_cached;
 use rtm_model::rates::OutOfStepRates;
 use rtm_model::shift::NoiseModel;
 use rtm_pecc::layout::{PeccLayout, ProtectionKind};
@@ -154,7 +154,7 @@ pub fn sts_conversion(trials: u64, seed: u64) -> Vec<StsRow> {
     [1u32, 4, 7]
         .iter()
         .map(|&d| {
-            let pdf = position_pdf(&params, d, trials, seed + d as u64);
+            let pdf = position_pdf_cached(&params, d, trials, seed + d as u64);
             StsRow {
                 distance: d,
                 raw_stop_in_middle: pdf.stop_in_middle_probability(),

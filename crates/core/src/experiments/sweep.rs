@@ -1,6 +1,13 @@
 //! Shared simulation sweep machinery: run every (workload × LLC
 //! configuration) pair once and let the figure drivers slice the
 //! results.
+//!
+//! Cells of the grid are independent simulations, so the sweep fans
+//! them out across the `rtm-par` pool. Each cell's trace seed derives
+//! from the workload name alone (never the worker count or schedule),
+//! results are merged back in grid order, and per-run gauges are
+//! recorded after the workers join — so sweep output and metrics are
+//! identical for any `--threads` setting.
 
 use rtm_controller::controller::ShiftPolicy;
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice, SimResult};
@@ -124,57 +131,93 @@ pub struct SimSweep {
 }
 
 impl SimSweep {
-    /// Runs every workload against the named LLC choices.
+    /// Runs every workload against the named LLC choices on the
+    /// process-wide `rtm_par` pool.
     pub fn run_choices(settings: &SweepSettings, choices: &[LlcChoice]) -> Self {
-        let mut sweep = Self::default();
+        Self::run_choices_with_threads(settings, choices, rtm_par::threads())
+    }
+
+    /// [`Self::run_choices`] with an explicit worker count; results
+    /// are identical for any `threads` value.
+    pub fn run_choices_with_threads(
+        settings: &SweepSettings,
+        choices: &[LlcChoice],
+        threads: usize,
+    ) -> Self {
         let profiles = settings.profiles();
-        let progress = rtm_obs::timer::Progress::new(
-            "sweep(choices)",
-            profiles.len() as u64 * choices.len() as u64,
-            "cells",
-        );
-        for p in profiles {
-            let mut per = BTreeMap::new();
-            for &c in choices {
-                let mut sys = Hierarchy::new(c);
-                let mut gen = TraceGenerator::new(
-                    p,
-                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
-                );
-                per.insert(c.to_string(), sys.run(&mut gen, settings.accesses));
-                progress.tick(1);
-            }
-            sweep.by_choice.insert(p.name, per);
-        }
+        let cells: Vec<(WorkloadProfile, LlcChoice)> = profiles
+            .iter()
+            .flat_map(|&p| choices.iter().map(move |&c| (p, c)))
+            .collect();
+        let progress = rtm_obs::timer::Progress::new("sweep(choices)", cells.len() as u64, "cells");
+        let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
+            let (p, c) = cells[i];
+            let mut sys = Hierarchy::new(c);
+            let mut gen = TraceGenerator::new(
+                p,
+                rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+            );
+            let r = sys.run(&mut gen, settings.accesses);
+            progress.tick(1);
+            r
+        });
         progress.finish();
+        let mut sweep = Self::default();
+        for ((p, c), r) in cells.into_iter().zip(results) {
+            // Post-join, in grid order: gauges stay deterministic.
+            r.record_metrics();
+            sweep
+                .by_choice
+                .entry(p.name)
+                .or_default()
+                .insert(c.to_string(), r);
+        }
         sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
 
-    /// Runs every workload against racetrack protection variants.
+    /// Runs every workload against racetrack protection variants on
+    /// the process-wide `rtm_par` pool.
     pub fn run_variants(settings: &SweepSettings, variants: &[RtVariant]) -> Self {
-        let mut sweep = Self::default();
+        Self::run_variants_with_threads(settings, variants, rtm_par::threads())
+    }
+
+    /// [`Self::run_variants`] with an explicit worker count; results
+    /// are identical for any `threads` value.
+    pub fn run_variants_with_threads(
+        settings: &SweepSettings,
+        variants: &[RtVariant],
+        threads: usize,
+    ) -> Self {
         let profiles = settings.profiles();
-        let progress = rtm_obs::timer::Progress::new(
-            "sweep(variants)",
-            profiles.len() as u64 * variants.len() as u64,
-            "cells",
-        );
-        for p in profiles {
-            let mut per = BTreeMap::new();
-            for &v in variants {
-                let (kind, policy) = v.parts();
-                let mut sys = Hierarchy::with_racetrack(kind, policy);
-                let mut gen = TraceGenerator::new(
-                    p,
-                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
-                );
-                per.insert(v.label().to_string(), sys.run(&mut gen, settings.accesses));
-                progress.tick(1);
-            }
-            sweep.by_variant.insert(p.name, per);
-        }
+        let cells: Vec<(WorkloadProfile, RtVariant)> = profiles
+            .iter()
+            .flat_map(|&p| variants.iter().map(move |&v| (p, v)))
+            .collect();
+        let progress =
+            rtm_obs::timer::Progress::new("sweep(variants)", cells.len() as u64, "cells");
+        let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
+            let (p, v) = cells[i];
+            let (kind, policy) = v.parts();
+            let mut sys = Hierarchy::with_racetrack(kind, policy);
+            let mut gen = TraceGenerator::new(
+                p,
+                rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+            );
+            let r = sys.run(&mut gen, settings.accesses);
+            progress.tick(1);
+            r
+        });
         progress.finish();
+        let mut sweep = Self::default();
+        for ((p, v), r) in cells.into_iter().zip(results) {
+            r.record_metrics();
+            sweep
+                .by_variant
+                .entry(p.name)
+                .or_default()
+                .insert(v.label().to_string(), r);
+        }
         sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
@@ -227,6 +270,22 @@ mod tests {
             a.by_choice["vips"]["STT-RAM"].cycles,
             b.by_choice["vips"]["STT-RAM"].cycles
         );
+    }
+
+    #[test]
+    fn sweeps_are_thread_count_invariant() {
+        let mut s = SweepSettings::quick();
+        s.accesses = 4_000;
+        let choices = [LlcChoice::SramBaseline, LlcChoice::RacetrackIdeal];
+        let base = SimSweep::run_choices_with_threads(&s, &choices, 1);
+        for threads in [2usize, 8] {
+            let alt = SimSweep::run_choices_with_threads(&s, &choices, threads);
+            assert_eq!(base.by_choice, alt.by_choice, "threads={threads}");
+        }
+        let variants = [RtVariant::Baseline, RtVariant::SecdedSafeAdaptive];
+        let vbase = SimSweep::run_variants_with_threads(&s, &variants, 1);
+        let valt = SimSweep::run_variants_with_threads(&s, &variants, 8);
+        assert_eq!(vbase.by_variant, valt.by_variant);
     }
 
     #[test]

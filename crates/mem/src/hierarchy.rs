@@ -107,6 +107,23 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Records this run's summary gauges into the global metrics
+    /// registry (no-op while observability is off).
+    ///
+    /// Kept separate from [`Hierarchy::result`] so parallel sweeps can
+    /// record results *after* their workers join, in deterministic
+    /// cell order — concurrent `gauge_set`s from inside workers would
+    /// leave whichever cell finished last in the snapshot.
+    pub fn record_metrics(&self) {
+        let reg = rtm_obs::global().registry();
+        if reg.enabled() {
+            reg.gauge_set("hier.cycles", self.cycles as f64);
+            reg.gauge_set("energy.llc_dynamic_pj", self.llc_dynamic_energy().value());
+            reg.gauge_set("energy.llc_total_pj", self.llc_total_energy().value());
+            reg.gauge_set("energy.system_pj", self.system_energy().value());
+        }
+    }
+
     /// Average shift intensity over the run (shift operations per
     /// second of simulated time).
     pub fn shift_intensity(&self) -> f64 {
@@ -332,13 +349,11 @@ impl Hierarchy {
             dram_accesses: self.dram_accesses,
             shift_cycles: llc.shift_cycles,
         };
-        let reg = rtm_obs::global().registry();
-        if reg.enabled() {
-            reg.gauge_set("hier.cycles", result.cycles as f64);
-            reg.gauge_set("energy.llc_dynamic_pj", result.llc_dynamic_energy().value());
-            reg.gauge_set("energy.llc_total_pj", result.llc_total_energy().value());
-            reg.gauge_set("energy.system_pj", result.system_energy().value());
-        }
+        // Per-run gauges are NOT recorded here: `result()` runs inside
+        // parallel sweep workers, where concurrent last-writer-wins
+        // `gauge_set`s would make the registry depend on scheduling.
+        // Callers that want the gauges invoke
+        // [`SimResult::record_metrics`] after their parallel section.
         result
     }
 }

@@ -12,7 +12,10 @@
 //!   out-of-step and stop-in-middle outcomes;
 //! * [`sts`] — the two-stage sub-threshold shift and its latency model;
 //! * [`montecarlo`] — Monte-Carlo estimation of position-error PDFs
-//!   (the paper's Fig. 4) with Gaussian tail extrapolation;
+//!   (the paper's Fig. 4) with Gaussian tail extrapolation, chunked
+//!   across the `rtm-par` pool with thread-count-invariant output;
+//! * [`pdfcache`] — a process-wide memo cache so repeated figure runs
+//!   stop recomputing identical PDFs;
 //! * [`rates`] — the canonical out-of-step rate table (the paper's
 //!   Table 2) plus interpolation, and the MTTF-vs-rate curve of Fig. 1.
 //!
@@ -40,6 +43,7 @@ pub mod dynamics;
 pub mod dynamics1d;
 pub mod montecarlo;
 pub mod params;
+pub mod pdfcache;
 pub mod rates;
 pub mod shift;
 pub mod sts;

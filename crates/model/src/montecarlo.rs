@@ -9,8 +9,18 @@
 //! zero samples still receive an analytic probability.
 
 use crate::params::DeviceParams;
-use crate::shift::{NoiseModel, ShiftOutcome, ShiftSimulator};
+use crate::shift::{NoiseModel, ShiftOutcome};
 use rtm_util::fit::GaussianFit;
+use rtm_util::rng::SmallRng64;
+use rtm_util::stats::OnlineStats;
+use std::collections::HashMap;
+
+/// Trials per Monte-Carlo chunk. The chunk layout depends only on the
+/// trial count (never the worker count), and each chunk runs an
+/// independent RNG stream seeded with
+/// `rtm_util::rng::derive_seed(seed, chunk_index)`, so a run's output
+/// is bit-identical for any `--threads` setting.
+pub const MC_CHUNK_TRIALS: u64 = 1 << 16;
 
 /// The bins of Fig. 4, covering offsets from −2 to +2 around the target.
 ///
@@ -105,6 +115,10 @@ pub struct PositionPdf {
     pub bins: Vec<BinEstimate>,
     /// The Gaussian displacement fit backing the analytic column.
     pub fit: GaussianFit,
+    /// Welford statistics of the sampled continuous displacement
+    /// errors — the Monte-Carlo counterpart of [`Self::fit`], merged
+    /// across chunks in chunk order so it is thread-count invariant.
+    pub error_stats: OnlineStats,
 }
 
 impl PositionPdf {
@@ -152,32 +166,98 @@ fn analytic_bin_probability(noise: &NoiseModel, fit: &GaussianFit, bin: Position
     }
 }
 
+/// Per-chunk accumulator: bin tallies plus Welford displacement stats.
+struct ChunkAccum {
+    counts: HashMap<PositionBin, u64>,
+    errors: OnlineStats,
+}
+
+/// Simulates one chunk of raw shifts on an independent RNG stream.
+fn simulate_chunk(
+    noise: &NoiseModel,
+    distance: u32,
+    len: u64,
+    seed: u64,
+    progress: &rtm_obs::timer::Progress,
+) -> ChunkAccum {
+    let mut rng = SmallRng64::new(seed);
+    let mut counts = HashMap::new();
+    let mut errors = OnlineStats::new();
+    for _ in 0..len {
+        let e = noise.sample_error(distance, &mut rng);
+        let outcome = noise.settle(e);
+        *counts.entry(PositionBin::of(&outcome)).or_insert(0u64) += 1;
+        errors.push(e);
+        progress.tick(1);
+    }
+    ChunkAccum { counts, errors }
+}
+
 /// Runs the Fig. 4 Monte-Carlo for one shift distance.
 ///
 /// `trials` raw (stage-1 only) shifts are simulated; the Gaussian fit is
 /// taken over the continuous displacement errors so the analytic column
 /// extends below the sampling floor.
 ///
+/// Work is split into [`MC_CHUNK_TRIALS`]-sized chunks executed on the
+/// process-wide `rtm_par` pool; see [`position_pdf_with_threads`] for
+/// the determinism contract.
+///
 /// # Panics
 ///
 /// Panics if `distance == 0` or `trials == 0`.
 pub fn position_pdf(params: &DeviceParams, distance: u32, trials: u64, seed: u64) -> PositionPdf {
+    position_pdf_with_threads(params, distance, trials, seed, rtm_par::threads())
+}
+
+/// [`position_pdf`] with an explicit worker count.
+///
+/// The output is **bit-identical for every `threads` value**: the
+/// chunk layout depends only on `trials`, each chunk's RNG stream is
+/// seeded from `(seed, chunk_index)`, and per-chunk bin counts and
+/// Welford stats are merged in chunk-index order after the pool joins.
+///
+/// # Panics
+///
+/// Panics if `distance == 0` or `trials == 0`.
+pub fn position_pdf_with_threads(
+    params: &DeviceParams,
+    distance: u32,
+    trials: u64,
+    seed: u64,
+    threads: usize,
+) -> PositionPdf {
     assert!(distance > 0, "distance must be positive");
     assert!(trials > 0, "at least one trial required");
-    let mut sim = ShiftSimulator::new(*params, seed);
-    let noise = *sim.noise();
+    let noise = NoiseModel::from_params(params);
 
-    let mut counts = std::collections::HashMap::new();
     let progress =
         rtm_obs::timer::Progress::new(format!("montecarlo d={distance}"), trials, "trials");
-    // The displacement distribution is fully specified by the noise
-    // model; fit from its analytic moments plus an MC sanity sample.
-    for _ in 0..trials {
-        let outcome = sim.shift_raw(distance);
-        *counts.entry(PositionBin::of(&outcome)).or_insert(0u64) += 1;
-        progress.tick(1);
-    }
+    let plan = rtm_par::chunks(trials, MC_CHUNK_TRIALS);
+    let accums = rtm_par::parallel_map_with(threads, plan.len(), |i| {
+        let chunk = plan[i];
+        simulate_chunk(
+            &noise,
+            distance,
+            chunk.len,
+            rtm_util::rng::derive_seed(seed, chunk.index as u64),
+            &progress,
+        )
+    });
     progress.finish();
+
+    // Merge in chunk-index order: counter addition commutes exactly,
+    // but the parallel-Welford merge is float-order-sensitive, so the
+    // fixed ordering is what keeps the stats thread-count invariant.
+    let mut counts: HashMap<PositionBin, u64> = HashMap::new();
+    let mut errors = OnlineStats::new();
+    for a in accums {
+        for (bin, n) in a.counts {
+            *counts.entry(bin).or_insert(0) += n;
+        }
+        errors.merge(&a.errors);
+    }
+
     let reg = rtm_obs::global().registry();
     if reg.enabled() {
         reg.counter_add("mc.trials", trials);
@@ -210,15 +290,34 @@ pub fn position_pdf(params: &DeviceParams, distance: u32, trials: u64, seed: u64
         trials,
         bins,
         fit,
+        error_stats: errors,
     }
 }
 
 /// Convenience: the three Fig. 4 panels (1-, 4- and 7-step shifts).
+///
+/// Panels go through the PDF memo cache ([`crate::pdfcache`]), so
+/// repeated figure runs with identical inputs are free.
 pub fn figure4(params: &DeviceParams, trials: u64, seed: u64) -> [PositionPdf; 3] {
     [
-        position_pdf(params, 1, trials, rtm_util::rng::derive_seed(seed, 1)),
-        position_pdf(params, 4, trials, rtm_util::rng::derive_seed(seed, 4)),
-        position_pdf(params, 7, trials, rtm_util::rng::derive_seed(seed, 7)),
+        crate::pdfcache::position_pdf_cached(
+            params,
+            1,
+            trials,
+            rtm_util::rng::derive_seed(seed, 1),
+        ),
+        crate::pdfcache::position_pdf_cached(
+            params,
+            4,
+            trials,
+            rtm_util::rng::derive_seed(seed, 4),
+        ),
+        crate::pdfcache::position_pdf_cached(
+            params,
+            7,
+            trials,
+            rtm_util::rng::derive_seed(seed, 7),
+        ),
     ]
 }
 
@@ -340,5 +439,34 @@ mod tests {
     #[should_panic]
     fn zero_trials_rejected() {
         let _ = position_pdf(&DeviceParams::table1(), 1, 0, 1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_output() {
+        let params = DeviceParams::table1();
+        // More trials than one chunk so several chunks actually run.
+        let trials = 3 * MC_CHUNK_TRIALS + 1234;
+        let one = position_pdf_with_threads(&params, 4, trials, 42, 1);
+        let two = position_pdf_with_threads(&params, 4, trials, 42, 2);
+        let eight = position_pdf_with_threads(&params, 4, trials, 42, 8);
+        // PartialEq on PositionPdf is bit-exact over every f64 inside.
+        assert_eq!(one, two);
+        assert_eq!(one, eight);
+    }
+
+    #[test]
+    fn error_stats_match_the_analytic_fit() {
+        let pdf = position_pdf(&DeviceParams::table1(), 7, 500_000, 9);
+        assert_eq!(pdf.error_stats.count(), pdf.trials);
+        assert!((pdf.error_stats.mean() - pdf.fit.mu).abs() < 5e-4);
+        assert!((pdf.error_stats.std_dev() - pdf.fit.sigma).abs() < 5e-4);
+    }
+
+    #[test]
+    fn single_chunk_runs_still_fill_error_stats() {
+        let pdf = position_pdf(&DeviceParams::table1(), 1, 100, 5);
+        assert_eq!(pdf.error_stats.count(), 100);
+        let total: u64 = pdf.bins.iter().map(|b| b.samples).sum();
+        assert!(total <= 100);
     }
 }

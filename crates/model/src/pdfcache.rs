@@ -1,0 +1,118 @@
+//! Process-wide memo cache for Monte-Carlo position PDFs.
+//!
+//! The figure drivers and repro binaries recompute identical PDFs
+//! constantly — `figure4` alone asks for the same three panels every
+//! run, and the ablation sweeps revisit the Table 1 baseline between
+//! variants. A [`crate::montecarlo::PositionPdf`] is a pure function of
+//! `(DeviceParams, distance, trials, seed)` and every one of those
+//! inputs has a total bitwise identity, so memoisation is sound: a hit
+//! returns a clone that is bit-identical to a fresh computation.
+//!
+//! The cache is bounded ([`CACHE_CAPACITY`] entries); when full it is
+//! cleared wholesale before inserting, which keeps the policy
+//! deterministic (no clock- or order-dependent eviction) and is
+//! harmless at the access rates of figure drivers. Hits and misses are
+//! counted in the global metrics registry as `mc.pdf_cache.hits` /
+//! `mc.pdf_cache.misses` when observability is on.
+
+use crate::montecarlo::{position_pdf, PositionPdf};
+use crate::params::DeviceParams;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+/// Maximum cached PDFs; past this the cache is cleared and restarted.
+pub const CACHE_CAPACITY: usize = 128;
+
+/// Full bitwise identity of one Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PdfKey {
+    params: [u64; 11],
+    distance: u32,
+    trials: u64,
+    seed: u64,
+}
+
+fn cache() -> &'static Mutex<HashMap<PdfKey, PositionPdf>> {
+    static CACHE: OnceLock<Mutex<HashMap<PdfKey, PositionPdf>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// [`position_pdf`] behind the process-wide memo cache.
+///
+/// The lock is released while a miss computes, so concurrent misses on
+/// different keys proceed in parallel; two concurrent misses on the
+/// *same* key both compute and insert the identical value, which is
+/// wasteful but correct.
+///
+/// # Panics
+///
+/// Panics if `distance == 0` or `trials == 0` (as [`position_pdf`]).
+pub fn position_pdf_cached(
+    params: &DeviceParams,
+    distance: u32,
+    trials: u64,
+    seed: u64,
+) -> PositionPdf {
+    let key = PdfKey {
+        params: params.bit_key(),
+        distance,
+        trials,
+        seed,
+    };
+    if let Some(hit) = cache().lock().expect("pdf cache poisoned").get(&key) {
+        rtm_obs::counter_add("mc.pdf_cache.hits", 1);
+        return hit.clone();
+    }
+    rtm_obs::counter_add("mc.pdf_cache.misses", 1);
+    let pdf = position_pdf(params, distance, trials, seed);
+    let mut map = cache().lock().expect("pdf cache poisoned");
+    if map.len() >= CACHE_CAPACITY {
+        map.clear();
+    }
+    map.insert(key, pdf.clone());
+    pdf
+}
+
+/// Number of PDFs currently cached.
+pub fn cached_len() -> usize {
+    cache().lock().expect("pdf cache poisoned").len()
+}
+
+/// Empties the cache (tests and long-lived services).
+pub fn clear() {
+    cache().lock().expect("pdf cache poisoned").clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the shared process-wide cache end to end;
+    // keeping it single threaded avoids cross-test interference on the
+    // global map.
+    #[test]
+    fn cache_hit_is_bit_identical_and_bounded() {
+        clear();
+        let params = DeviceParams::table1();
+        let fresh = position_pdf_cached(&params, 3, 10_000, 77);
+        assert_eq!(cached_len(), 1);
+        let hit = position_pdf_cached(&params, 3, 10_000, 77);
+        assert_eq!(fresh, hit);
+        assert_eq!(hit, position_pdf(&params, 3, 10_000, 77));
+        assert_eq!(cached_len(), 1);
+
+        // Different key -> different entry.
+        let other = position_pdf_cached(&params, 4, 10_000, 77);
+        assert_ne!(other, fresh);
+        assert_eq!(cached_len(), 2);
+
+        // Overflowing the capacity clears and restarts rather than
+        // growing without bound.
+        for s in 0..(CACHE_CAPACITY as u64 + 3) {
+            let _ = position_pdf_cached(&params, 1, 64, 1000 + s);
+        }
+        assert!(cached_len() <= CACHE_CAPACITY);
+        clear();
+        assert_eq!(cached_len(), 0);
+    }
+}

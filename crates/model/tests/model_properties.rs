@@ -96,6 +96,33 @@ fn mttf_inverse_relation() {
     });
 }
 
+/// Chunk-boundary trial counts (fewer trials than one chunk, exact
+/// multiples, non-divisible remainders) produce identical PDFs for any
+/// worker count, and the bin tallies plus Welford count always account
+/// for every trial.
+#[test]
+fn position_pdf_chunk_boundaries_are_thread_invariant() {
+    use rtm_model::montecarlo::{position_pdf_with_threads, MC_CHUNK_TRIALS};
+    run_cases(6, |g: &mut Gen| {
+        let trials = match g.u64_in(0, 2) {
+            0 => g.u64_in(1, 500),                 // far below one chunk
+            1 => MC_CHUNK_TRIALS * g.u64_in(1, 2), // exact multiple
+            _ => MC_CHUNK_TRIALS * g.u64_in(1, 2) + g.u64_in(1, MC_CHUNK_TRIALS - 1),
+        };
+        let seed = g.u64_in(0, u64::MAX);
+        let distance = g.u32_in(1, 7);
+        let params = DeviceParams::table1();
+        let base = position_pdf_with_threads(&params, distance, trials, seed, 1);
+        for threads in [2usize, 5] {
+            let alt = position_pdf_with_threads(&params, distance, trials, seed, threads);
+            assert_eq!(base, alt, "trials={trials} threads={threads}");
+        }
+        assert_eq!(base.error_stats.count(), trials);
+        let binned: u64 = base.bins.iter().map(|b| b.samples).sum();
+        assert!(binned <= trials, "binned {binned} > trials {trials}");
+    });
+}
+
 /// Sequence latency equals the sum of its parts' latencies.
 #[test]
 fn sequence_latency_additive() {

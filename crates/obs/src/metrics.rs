@@ -3,9 +3,20 @@
 //! The registry is designed for hot simulation loops: when disabled
 //! (the default) every recording call is a single relaxed atomic load,
 //! so instrumented code pays essentially nothing in uninstrumented
-//! runs. When enabled, updates take a `Mutex` around a `BTreeMap`; the
-//! simulator is single-threaded per run, so contention is not a
-//! concern, and snapshots are cheap and consistent.
+//! runs. When enabled, each update takes a short-lived `Mutex` around
+//! one of [`SHARD_COUNT`] name-hashed map shards, so sweep workers on
+//! the `rtm-par` pool contend only when they update metrics whose
+//! names hash to the same shard.
+//!
+//! # Orderings audit (multi-worker case)
+//!
+//! `enabled` is loaded and stored with `Relaxed` ordering on purpose:
+//! it is a sampling gate, not a synchronization edge. A worker that
+//! reads a stale `false` skips one recording near the moment the flag
+//! flipped — acceptable, because callers enable recording before
+//! spawning workers and snapshot after joining them. All metric *data*
+//! lives behind the shard mutexes, whose lock/unlock provide the
+//! acquire/release edges, so no recorded update can be torn or lost.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -70,16 +81,41 @@ impl Hist {
     }
 }
 
+/// Number of independently locked map shards in a registry. Sixteen
+/// comfortably exceeds the worker counts the `rtm-par` pool spawns on
+/// typical hosts, so two workers rarely queue on the same lock.
+pub const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over the metric name picks the shard; names are stable, so a
+/// metric always lives in the same shard.
+fn shard_of(name: &str) -> usize {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
+
 /// A registry of named metrics.
 ///
 /// Names are free-form dotted strings (`"shift.latency_cycles"`). A
 /// name keeps the kind of its first recording; recording a different
 /// kind under the same name is ignored rather than panicking, so
 /// instrumentation can never take a simulation down.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: AtomicBool,
-    inner: Mutex<BTreeMap<String, Metric>>,
+    shards: [Mutex<BTreeMap<String, Metric>>; SHARD_COUNT],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -91,6 +127,8 @@ impl MetricsRegistry {
     /// Turns recording on or off. Off is the default; disabled
     /// recording calls cost one relaxed atomic load.
     pub fn set_enabled(&self, on: bool) {
+        // Relaxed: a sampling gate, not a synchronization edge (see the
+        // module-level orderings audit).
         self.enabled.store(on, Ordering::Relaxed);
     }
 
@@ -99,13 +137,22 @@ impl MetricsRegistry {
         self.enabled.load(Ordering::Relaxed)
     }
 
+    fn shard(&self, name: &str) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.shards[shard_of(name)]
+            .lock()
+            .expect("metrics registry poisoned")
+    }
+
     /// Adds `delta` to the counter `name`, creating it at zero first.
     pub fn counter_add(&self, name: &str, delta: u64) {
         if !self.enabled() {
             return;
         }
-        let mut map = self.inner.lock().expect("metrics registry poisoned");
-        match map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+        match self
+            .shard(name)
+            .entry(name.to_string())
+            .or_insert(Metric::Counter(0))
+        {
             Metric::Counter(v) => *v += delta,
             _ => debug_assert!(false, "metric {name} is not a counter"),
         }
@@ -116,8 +163,11 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        let mut map = self.inner.lock().expect("metrics registry poisoned");
-        match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+        match self
+            .shard(name)
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
             Metric::Gauge(v) => *v = value,
             _ => debug_assert!(false, "metric {name} is not a gauge"),
         }
@@ -128,8 +178,11 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        let mut map = self.inner.lock().expect("metrics registry poisoned");
-        match map.entry(name.to_string()).or_insert(Metric::Gauge(0.0)) {
+        match self
+            .shard(name)
+            .entry(name.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
             Metric::Gauge(v) => *v += delta,
             _ => debug_assert!(false, "metric {name} is not a gauge"),
         }
@@ -148,8 +201,8 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        let mut map = self.inner.lock().expect("metrics registry poisoned");
-        match map
+        match self
+            .shard(name)
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Hist::new(bounds)))
         {
@@ -160,28 +213,30 @@ impl MetricsRegistry {
 
     /// Removes every metric (the enabled flag is untouched).
     pub fn reset(&self) {
-        self.inner
-            .lock()
-            .expect("metrics registry poisoned")
-            .clear();
+        for shard in &self.shards {
+            shard.lock().expect("metrics registry poisoned").clear();
+        }
     }
 
-    /// A consistent point-in-time copy of every metric, sorted by name.
+    /// A copy of every metric, sorted by name. Each shard is copied
+    /// under its own lock; take snapshots when no workers are
+    /// recording (the sweep drivers snapshot after joining) if the
+    /// copy must be a single consistent cut across all metrics.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let map = self.inner.lock().expect("metrics registry poisoned");
-        RegistrySnapshot {
-            metrics: map
-                .iter()
-                .map(|(name, metric)| MetricSnapshot {
-                    name: name.clone(),
-                    value: match metric {
-                        Metric::Counter(v) => MetricValue::Counter(*v),
-                        Metric::Gauge(v) => MetricValue::Gauge(*v),
-                        Metric::Histogram(h) => MetricValue::Histogram(summarise(h)),
-                    },
-                })
-                .collect(),
+        let mut metrics: Vec<MetricSnapshot> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("metrics registry poisoned");
+            metrics.extend(map.iter().map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(v) => MetricValue::Counter(*v),
+                    Metric::Gauge(v) => MetricValue::Gauge(*v),
+                    Metric::Histogram(h) => MetricValue::Histogram(summarise(h)),
+                },
+            }));
         }
+        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+        RegistrySnapshot { metrics }
     }
 }
 
@@ -625,6 +680,46 @@ mod tests {
         let parsed = Json::parse(&text).expect("parse");
         let back = RegistrySnapshot::from_json(&parsed).expect("decode");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_updates_are_lossless() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let r = &r;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        r.counter_add("shared.count", 1);
+                        r.counter_add(&format!("worker{t}.count"), 1);
+                        r.observe("shared.hist", (i % 10) as f64);
+                    }
+                });
+            }
+        });
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("shared.count"), Some(8_000));
+        for t in 0..8 {
+            assert_eq!(snap.counter(&format!("worker{t}.count")), Some(1_000));
+        }
+        assert_eq!(snap.histogram("shared.hist").expect("hist").count, 8_000);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_across_shards() {
+        let r = MetricsRegistry::new();
+        r.set_enabled(true);
+        // Enough names to land in many different shards.
+        for i in 0..100 {
+            r.counter_add(&format!("m{i:03}"), i);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.metrics.len(), 100);
+        let names: Vec<&str> = snap.metrics.iter().map(|m| m.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 
     #[test]

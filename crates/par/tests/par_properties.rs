@@ -1,0 +1,42 @@
+//! Property tests for the deterministic pool: for random task counts,
+//! worker counts and chunk sizes, the parallel result must equal the
+//! sequential one and chunk plans must tile the range exactly.
+
+use rtm_util::check::{run_cases, Gen};
+
+#[test]
+fn parallel_map_matches_sequential_for_random_shapes() {
+    run_cases(48, |g: &mut Gen| {
+        let tasks = g.u64_in(0, 200) as usize;
+        let workers = g.u64_in(1, 12) as usize;
+        let sequential: Vec<u64> = (0..tasks)
+            .map(|i| (i as u64).wrapping_mul(0x9E37))
+            .collect();
+        let parallel =
+            rtm_par::parallel_map_with(workers, tasks, |i| (i as u64).wrapping_mul(0x9E37));
+        assert_eq!(parallel, sequential, "tasks={tasks} workers={workers}");
+    });
+}
+
+#[test]
+fn chunk_plans_tile_exactly_for_random_totals() {
+    run_cases(64, |g: &mut Gen| {
+        let chunk = g.u64_in(1, 10_000);
+        // Cover the boundary cases the Monte-Carlo driver hits: fewer
+        // trials than one chunk, exact multiples, and a remainder.
+        let total = match g.u64_in(0, 3) {
+            0 => g.u64_in(0, chunk.saturating_sub(1)),
+            1 => chunk * g.u64_in(1, 50),
+            _ => chunk * g.u64_in(0, 50) + g.u64_in(1, chunk),
+        };
+        let plan = rtm_par::chunks(total, chunk);
+        assert_eq!(plan.iter().map(|c| c.len).sum::<u64>(), total);
+        assert!(plan.iter().all(|c| c.len >= 1 && c.len <= chunk));
+        let mut expected_start = 0;
+        for (i, c) in plan.iter().enumerate() {
+            assert_eq!(c.index, i);
+            assert_eq!(c.start, expected_start);
+            expected_start += c.len;
+        }
+    });
+}
