@@ -7,6 +7,7 @@
 //! cargo run --release -p rtm-bench --bin report -- --out report.md
 //! cargo run --release -p rtm-bench --bin report -- \
 //!     --quick --metrics m.json --events e.json --progress --threads 4
+//! cargo run --release -p rtm-bench --bin report -- --engine mc
 //! ```
 //!
 //! Exits non-zero if any claim fails, so this doubles as a regression
@@ -20,6 +21,7 @@ fn main() {
     let mut out: Option<std::path::PathBuf> = None;
     let mut metrics: Option<std::path::PathBuf> = None;
     let mut events: Option<std::path::PathBuf> = None;
+    let mut engine = rtm_model::analytic::Engine::default();
     let mut args = std::env::args().skip(1);
     let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -34,6 +36,13 @@ fn main() {
             "--metrics" => metrics = Some(path_arg(&mut args, "--metrics").into()),
             "--events" => events = Some(path_arg(&mut args, "--events").into()),
             "--progress" => rtm_obs::set_progress(true),
+            "--engine" => match path_arg(&mut args, "--engine").parse() {
+                Ok(e) => engine = e,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
             "--threads" => {
                 let n: usize = path_arg(&mut args, "--threads").parse().unwrap_or(0);
                 if n == 0 {
@@ -54,7 +63,7 @@ fn main() {
     if events.is_some() {
         rtm_obs::global().trace().set_enabled(true);
     }
-    let settings = if quick {
+    let mut settings = if quick {
         let mut s = SweepSettings::quick();
         s.accesses = 60_000;
         s.workloads = None;
@@ -62,6 +71,7 @@ fn main() {
     } else {
         SweepSettings::full()
     };
+    settings.sample_engine = Some(engine);
     eprintln!(
         "running sweeps ({} workloads x 13 configurations x {} accesses)...",
         settings.profiles().len(),

@@ -13,7 +13,9 @@
 //! `--progress` prints heartbeat lines for long sweeps; `--accesses`
 //! overrides the per-cell trace length; `--threads N` sets the worker
 //! count for the Monte-Carlo and sweep fan-out (default: all cores;
-//! output is bit-identical for any value).
+//! output is bit-identical for any value); `--engine mc|analytic`
+//! selects the position-error engine for fig4/ablation PDFs and the
+//! fig14 sampling path (default: analytic closed form).
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
@@ -21,6 +23,7 @@ use rtm_core::experiments::{
     SimSweep, SweepSettings,
 };
 use rtm_mem::hierarchy::LlcChoice;
+use rtm_model::analytic::Engine;
 
 struct Options {
     experiments: Vec<String>,
@@ -30,6 +33,7 @@ struct Options {
     events: Option<std::path::PathBuf>,
     progress: bool,
     accesses: Option<u64>,
+    engine: Engine,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -40,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
     let mut events = None;
     let mut progress = false;
     let mut accesses = None;
+    let mut engine = Engine::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -86,6 +91,10 @@ fn parse_args() -> Result<Options, String> {
                 }
                 accesses = Some(n);
             }
+            "--engine" => {
+                let v = args.next().ok_or("--engine needs mc or analytic")?;
+                engine = v.parse()?;
+            }
             "--quick" => quick = true,
             "--list" => {
                 println!("all");
@@ -108,6 +117,7 @@ fn parse_args() -> Result<Options, String> {
         events,
         progress,
         accesses,
+        engine,
     })
 }
 
@@ -139,6 +149,9 @@ fn main() {
     if let Some(n) = opts.accesses {
         settings.accesses = n;
     }
+    // The sweep's per-shift outcome sampling always uses the selected
+    // engine's fault model (observational; timing is unaffected).
+    settings.sample_engine = Some(opts.engine);
     let mc_trials: u64 = if opts.quick { 200_000 } else { 2_000_000 };
 
     let wanted = |name: &str| opts.experiments.iter().any(|e| e == "all" || e == name);
@@ -211,7 +224,7 @@ fn main() {
 
     section("fig1", &|| motivation::figure1().render());
     section("fig4", &|| {
-        errormodel::figure4_experiment(mc_trials, 2015).render()
+        errormodel::figure4_experiment_with_engine(mc_trials, 2015, opts.engine).render()
     });
     section("table2", &|| errormodel::table2_experiment().render());
     section("fig7", &|| design::figure7_experiment().render());
@@ -262,7 +275,7 @@ fn main() {
     });
 
     section("ablation", &|| {
-        ablation::render_ablations(mc_trials / 4, 2015, 5.12e9)
+        ablation::render_ablations_with_engine(mc_trials / 4, 2015, 5.12e9, opts.engine)
     });
 
     // Machine-readable run artefacts: metrics registry and shift

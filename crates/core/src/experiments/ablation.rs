@@ -17,8 +17,9 @@
 
 use super::render_table;
 use rtm_cost::area::AreaModel;
+use rtm_model::analytic::Engine;
 use rtm_model::params::DeviceParams;
-use rtm_model::pdfcache::position_pdf_cached;
+use rtm_model::pdfcache::position_pdf_cached_engine;
 use rtm_model::rates::OutOfStepRates;
 use rtm_model::shift::NoiseModel;
 use rtm_pecc::layout::{PeccLayout, ProtectionKind};
@@ -149,12 +150,19 @@ pub struct StsRow {
 /// Quantifies the STS error-class conversion for 1-, 4- and 7-step
 /// shifts via Monte-Carlo plus analytic tails.
 pub fn sts_conversion(trials: u64, seed: u64) -> Vec<StsRow> {
+    sts_conversion_with_engine(trials, seed, Engine::MonteCarlo)
+}
+
+/// [`sts_conversion`] from the requested position-error engine. With
+/// [`Engine::Analytic`] the bin masses come from exact erf bands and
+/// `trials`/`seed` are ignored.
+pub fn sts_conversion_with_engine(trials: u64, seed: u64, engine: Engine) -> Vec<StsRow> {
     let params = DeviceParams::table1();
     let rates = OutOfStepRates::paper_calibration();
     [1u32, 4, 7]
         .iter()
         .map(|&d| {
-            let pdf = position_pdf_cached(&params, d, trials, seed + d as u64);
+            let pdf = position_pdf_cached_engine(&params, d, trials, seed + d as u64, engine);
             StsRow {
                 distance: d,
                 raw_stop_in_middle: pdf.stop_in_middle_probability(),
@@ -240,6 +248,17 @@ pub fn head_policy_comparison(accesses: u64) -> [HeadPolicyRow; 2] {
 
 /// Renders all four ablations as one report.
 pub fn render_ablations(trials: u64, seed: u64, stripe_intensity: f64) -> String {
+    render_ablations_with_engine(trials, seed, stripe_intensity, Engine::MonteCarlo)
+}
+
+/// [`render_ablations`] with the STS-conversion study driven by the
+/// requested position-error engine.
+pub fn render_ablations_with_engine(
+    trials: u64,
+    seed: u64,
+    stripe_intensity: f64,
+    engine: Engine,
+) -> String {
     let mut out = String::from("Ablation 1: drive current ratio (4-step shift)\n\n");
     let mut rows = vec![vec![
         "J/J0".to_string(),
@@ -298,7 +317,7 @@ pub fn render_ablations(trials: u64, seed: u64, stripe_intensity: f64) -> String
         "raw out-of-step".to_string(),
         "after STS (out-of-step)".to_string(),
     ]];
-    for r in sts_conversion(trials, seed) {
+    for r in sts_conversion_with_engine(trials, seed, engine) {
         rows.push(vec![
             r.distance.to_string(),
             format!("{:.2e}", r.raw_stop_in_middle),
@@ -445,6 +464,27 @@ mod tests {
         let [stay, centre] = head_policy_comparison(1_500);
         assert!(centre.shift_cycles < stay.shift_cycles);
         assert!(centre.total_steps > stay.total_steps);
+    }
+
+    #[test]
+    fn sts_conversion_analytic_matches_mc() {
+        let mc = sts_conversion(400_000, 11);
+        let an = sts_conversion_with_engine(0, 0, Engine::Analytic);
+        for (m, a) in mc.iter().zip(an.iter()) {
+            assert_eq!(m.distance, a.distance);
+            // The shared Table 2 reference column is engine-independent.
+            assert_eq!(m.sts_out_of_step, a.sts_out_of_step);
+            // Raw stop-in-middle is the dominant class — plenty of MC
+            // samples, so the engines must agree tightly.
+            let ratio = a.raw_stop_in_middle / m.raw_stop_in_middle;
+            assert!(
+                (0.9..1.1).contains(&ratio),
+                "distance {}: analytic {:.3e} vs mc {:.3e}",
+                m.distance,
+                a.raw_stop_in_middle,
+                m.raw_stop_in_middle
+            );
+        }
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! Fig. 4 (position-error PDFs) and Table 2 (out-of-step rates).
 
 use super::render_table;
-use rtm_model::montecarlo::{figure4, PositionPdf};
+use rtm_model::analytic::Engine;
+use rtm_model::montecarlo::{figure4_with_engine, PositionPdf};
 use rtm_model::params::DeviceParams;
 use rtm_model::rates::{OutOfStepRates, MAX_TABULATED_DISTANCE};
 use rtm_model::shift::NoiseModel;
 
-/// The Fig. 4 experiment output: three Monte-Carlo PDFs.
+/// The Fig. 4 experiment output: three position-error PDFs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Figure4 {
     /// Panels for 1-, 4- and 7-step shifts.
@@ -15,8 +16,15 @@ pub struct Figure4 {
 
 /// Runs the Fig. 4 Monte-Carlo (`trials` samples per panel).
 pub fn figure4_experiment(trials: u64, seed: u64) -> Figure4 {
+    figure4_experiment_with_engine(trials, seed, Engine::MonteCarlo)
+}
+
+/// [`figure4_experiment`] from the requested engine: Monte-Carlo
+/// sampling, or the exact closed form (for which `trials`/`seed` are
+/// irrelevant and the panels carry `trials == 0`).
+pub fn figure4_experiment_with_engine(trials: u64, seed: u64, engine: Engine) -> Figure4 {
     Figure4 {
-        panels: figure4(&DeviceParams::table1(), trials, seed),
+        panels: figure4_with_engine(&DeviceParams::table1(), trials, seed, engine),
     }
 }
 
@@ -43,10 +51,14 @@ impl Figure4 {
             "Figure 4: probability distribution of position errors (raw shift, before STS)\n\n",
         );
         out.push_str(&render_table(&rows));
-        out.push_str(&format!(
-            "\ntrials per panel: {} (tail bins analytic, as in the paper's fit)\n",
-            self.panels[0].trials
-        ));
+        if self.panels[0].trials == 0 {
+            out.push_str("\nclosed form (analytic engine): exact erf bands, no sampling\n");
+        } else {
+            out.push_str(&format!(
+                "\ntrials per panel: {} (tail bins analytic, as in the paper's fit)\n",
+                self.panels[0].trials
+            ));
+        }
         out
     }
 }
@@ -163,5 +175,31 @@ mod tests {
         for p in &f.panels {
             assert!(p.success_probability() > 0.99);
         }
+    }
+
+    #[test]
+    fn figure4_analytic_engine_matches_mc_and_renders() {
+        let mc = figure4_experiment(200_000, 3);
+        let an = figure4_experiment_with_engine(0, 0, Engine::Analytic);
+        for (m, a) in mc.panels.iter().zip(an.panels.iter()) {
+            assert_eq!(a.trials, 0);
+            assert_eq!(m.distance, a.distance);
+            for (mb, ab) in m.bins.iter().zip(a.bins.iter()) {
+                if mb.samples >= 100 {
+                    let ratio = ab.probability() / mb.probability();
+                    assert!(
+                        (0.8..1.25).contains(&ratio),
+                        "d={} bin {}: analytic {:.3e} vs mc {:.3e}",
+                        m.distance,
+                        mb.bin.label(),
+                        ab.probability(),
+                        mb.probability()
+                    );
+                }
+            }
+        }
+        let text = an.render();
+        assert!(text.contains("closed form"), "{text}");
+        assert!(!text.contains("trials per panel"));
     }
 }

@@ -24,6 +24,14 @@ pub struct SweepSettings {
     pub seed: u64,
     /// Workload subset (`None` = all twelve).
     pub workloads: Option<Vec<&'static str>>,
+    /// When set, racetrack variant cells additionally sample one
+    /// concrete outcome per planned sub-shift through the engine's
+    /// fault model (alias fast path for
+    /// [`rtm_model::analytic::Engine::Analytic`]). Sampling seeds
+    /// derive from `seed` and the cell's grid index, never the worker
+    /// schedule, so sweep output stays bit-identical for any thread
+    /// count.
+    pub sample_engine: Option<rtm_model::analytic::Engine>,
 }
 
 impl SweepSettings {
@@ -35,6 +43,7 @@ impl SweepSettings {
             accesses: 2_000_000,
             seed: 2015,
             workloads: None,
+            sample_engine: None,
         }
     }
 
@@ -44,6 +53,7 @@ impl SweepSettings {
             accesses: 25_000,
             seed: 2015,
             workloads: Some(vec!["canneal", "swaptions", "streamcluster"]),
+            sample_engine: None,
         }
     }
 
@@ -199,7 +209,17 @@ impl SimSweep {
         let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
             let (p, v) = cells[i];
             let (kind, policy) = v.parts();
-            let mut sys = Hierarchy::with_racetrack(kind, policy);
+            let mut sys = match settings.sample_engine {
+                // Sampling seed from (sweep seed, grid index): fixed by
+                // the cell layout, independent of worker scheduling.
+                Some(engine) => Hierarchy::with_racetrack_sampled(
+                    kind,
+                    policy,
+                    engine,
+                    rtm_util::rng::derive_seed(settings.seed, 0x5EED_0000 + i as u64),
+                ),
+                None => Hierarchy::with_racetrack(kind, policy),
+            };
             let mut gen = TraceGenerator::new(
                 p,
                 rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
@@ -286,6 +306,30 @@ mod tests {
         let vbase = SimSweep::run_variants_with_threads(&s, &variants, 1);
         let valt = SimSweep::run_variants_with_threads(&s, &variants, 8);
         assert_eq!(vbase.by_variant, valt.by_variant);
+    }
+
+    #[test]
+    fn sampled_sweeps_are_thread_count_invariant() {
+        // PR 3 extension of the determinism matrix: engine-sampled
+        // variant sweeps must stay bit-identical across 1/2/8 workers.
+        let mut s = SweepSettings::quick();
+        s.accesses = 4_000;
+        s.workloads = Some(vec!["canneal", "x264"]);
+        s.sample_engine = Some(rtm_model::analytic::Engine::Analytic);
+        let variants = [RtVariant::Baseline, RtVariant::SecdedSafeAdaptive];
+        let base = SimSweep::run_variants_with_threads(&s, &variants, 1);
+        for threads in [2usize, 8] {
+            let alt = SimSweep::run_variants_with_threads(&s, &variants, threads);
+            assert_eq!(base.by_variant, alt.by_variant, "threads={threads}");
+        }
+        // Sampling actually happened on racetrack cells.
+        let sampled: u64 = base
+            .by_variant
+            .values()
+            .flat_map(|per| per.values())
+            .map(|r| r.llc.sampled_shifts)
+            .sum();
+        assert!(sampled > 0, "engine sampling produced no draws");
     }
 
     #[test]

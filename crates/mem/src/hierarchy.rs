@@ -253,13 +253,33 @@ impl Hierarchy {
     /// Figs. 10-11). Results are labelled with the closest preset for
     /// energy-model purposes: `RacetrackUnprotected`.
     pub fn with_racetrack(kind: ProtectionKind, policy: ShiftPolicy) -> Self {
+        Self::from_racetrack_llc(RacetrackLlc::new(kind, policy))
+    }
+
+    /// [`Hierarchy::with_racetrack`] with per-shift outcome sampling
+    /// enabled through the chosen engine's fault model (see
+    /// [`RacetrackLlc::with_fault_sampling`]). Latency, risk and cache
+    /// behaviour are identical to the unsampled hierarchy; the run
+    /// additionally tallies observed sampled errors in
+    /// [`crate::llc::LlcStats::sampled_shifts`] /
+    /// [`crate::llc::LlcStats::observed_errors`].
+    pub fn with_racetrack_sampled(
+        kind: ProtectionKind,
+        policy: ShiftPolicy,
+        engine: rtm_model::analytic::Engine,
+        seed: u64,
+    ) -> Self {
+        Self::from_racetrack_llc(RacetrackLlc::new(kind, policy).with_fault_sampling(engine, seed))
+    }
+
+    fn from_racetrack_llc(llc: RacetrackLlc) -> Self {
         let config = SystemConfig::paper(CacheTech::Racetrack);
         Self {
             l1: (0..config.cores)
                 .map(|_| Cache::new(config.l1.capacity_bytes, config.l1.ways, config.line_bytes))
                 .collect(),
             l2: Cache::new(config.l2.capacity_bytes, config.l2.ways, config.line_bytes),
-            llc: Box::new(RacetrackLlc::new(kind, policy)),
+            llc: Box::new(llc),
             config,
             choice: LlcChoice::RacetrackUnprotected,
             cycles: 0,

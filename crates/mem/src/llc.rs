@@ -6,7 +6,10 @@ use crate::cache::{AccessKind, AccessResult, Cache, CacheStats};
 use rtm_controller::controller::{ShiftController, ShiftPolicy};
 use rtm_cost::energy::LlcActivity;
 use rtm_cost::technology::LlcDesign;
+use rtm_model::analytic::Engine;
+use rtm_model::params::DeviceParams;
 use rtm_pecc::layout::ProtectionKind;
+use rtm_track::fault::{EngineFaultModel, FaultModel};
 use rtm_track::geometry::StripeGeometry;
 use rtm_util::units::Seconds;
 
@@ -28,6 +31,11 @@ pub struct LlcStats {
     pub expected_dues: f64,
     /// Expected silent corruptions.
     pub expected_sdcs: f64,
+    /// Per-shift outcomes drawn by the optional fault-sampling engine
+    /// (0 when sampling is off).
+    pub sampled_shifts: u64,
+    /// Sampled outcomes that were position errors.
+    pub observed_errors: u64,
 }
 
 impl LlcStats {
@@ -48,6 +56,8 @@ impl LlcStats {
         reg.counter_add("llc.zero_shift_accesses", self.zero_shift_accesses);
         reg.gauge_set("llc.expected_dues", self.expected_dues);
         reg.gauge_set("llc.expected_sdcs", self.expected_sdcs);
+        reg.counter_add("engine.sample.shifts", self.sampled_shifts);
+        reg.counter_add("engine.sample.errors", self.observed_errors);
         reg.snapshot()
     }
 }
@@ -189,6 +199,14 @@ pub struct RacetrackLlc {
     head_policy: HeadPolicy,
     /// Steps spent on idle (off-critical-path) repositioning.
     idle_steps: u64,
+    /// Optional per-shift outcome sampler: when set, every planned
+    /// sub-shift draws a concrete outcome from the engine's fault
+    /// model (alias tables for analytic, Gaussian for mc), giving the
+    /// sweep an *observed* error count alongside the controller's
+    /// expected-value risk accounting.
+    sampler: Option<EngineFaultModel>,
+    sampled_shifts: u64,
+    observed_errors: u64,
 }
 
 impl RacetrackLlc {
@@ -234,6 +252,9 @@ impl RacetrackLlc {
             ideal_shifts: false,
             head_policy: HeadPolicy::Stay,
             idle_steps: 0,
+            sampler: None,
+            sampled_shifts: 0,
+            observed_errors: 0,
         }
     }
 
@@ -246,6 +267,34 @@ impl RacetrackLlc {
     pub fn with_head_policy(mut self, policy: HeadPolicy) -> Self {
         self.head_policy = policy;
         self
+    }
+
+    /// Enables per-shift outcome sampling through the chosen engine's
+    /// fault model (builder style). Sampling never changes latency or
+    /// risk accounting — it adds the observed error tallies
+    /// ([`LlcStats::sampled_shifts`] / [`LlcStats::observed_errors`])
+    /// on top of the statistical model, with Table 1 device parameters.
+    pub fn with_fault_sampling(mut self, engine: Engine, seed: u64) -> Self {
+        self.sampler = Some(EngineFaultModel::new(engine, &DeviceParams::table1(), seed));
+        self
+    }
+
+    /// Draws one outcome per planned sub-shift when sampling is on.
+    fn sample_sequence(&mut self, sequence: &[u32]) {
+        if let Some(model) = &mut self.sampler {
+            let mut errors = 0u64;
+            for &d in sequence {
+                if !model.sample(d).is_success() {
+                    errors += 1;
+                }
+            }
+            self.sampled_shifts += sequence.len() as u64;
+            self.observed_errors += errors;
+            rtm_obs::counter_add("engine.sample.shifts", sequence.len() as u64);
+            if errors > 0 {
+                rtm_obs::counter_add("engine.sample.errors", errors);
+            }
+        }
     }
 
     /// Steps spent repositioning heads off the critical path.
@@ -316,6 +365,7 @@ impl RacetrackLlc {
                 plan.latency.count()
             };
             self.stats_shift_cycles += latency;
+            self.sample_sequence(&plan.sequence);
             latency
         };
         self.heads[group] = target;
@@ -333,6 +383,7 @@ impl RacetrackLlc {
                 self.stats_shift_steps += distance as u64;
                 self.idle_steps += distance as u64;
                 rtm_obs::counter_add("llc.idle_steps", distance as u64);
+                self.sample_sequence(&plan.sequence);
                 self.heads[group] = rest;
             }
         }
@@ -387,6 +438,8 @@ impl LlcModel for RacetrackLlc {
             // any stripe failing fails the group.
             expected_dues: c.expected_dues * self.stripes_per_group as f64,
             expected_sdcs: c.expected_sdcs * self.stripes_per_group as f64,
+            sampled_shifts: self.sampled_shifts,
+            observed_errors: self.observed_errors,
         }
     }
 
@@ -570,6 +623,49 @@ mod tests {
             s.shift_cycles
         );
         assert!(b.shift_ops <= s.shift_ops);
+    }
+
+    #[test]
+    fn fault_sampling_observes_without_changing_timing() {
+        let mut plain = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut sampled = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive)
+            .with_fault_sampling(Engine::Analytic, 9);
+        let stride = plain.cache.sets() * 64;
+        let mut t = 0u64;
+        for i in 0..2000u64 {
+            let addr = (i % 16) * stride;
+            t += 500;
+            let a = plain.access(addr, AccessKind::Read, t);
+            let b = sampled.access(addr, AccessKind::Read, t);
+            assert_eq!(a, b, "sampling must not perturb responses");
+        }
+        let p = plain.stats();
+        let s = sampled.stats();
+        assert_eq!(p.shift_cycles, s.shift_cycles);
+        assert_eq!(p.expected_dues, s.expected_dues);
+        assert_eq!(p.sampled_shifts, 0);
+        // One drawn outcome per planned sub-shift.
+        assert_eq!(s.sampled_shifts, s.shift_ops);
+        assert!(s.observed_errors <= s.sampled_shifts);
+    }
+
+    #[test]
+    fn fault_sampling_is_deterministic_per_seed() {
+        let run = |engine: Engine, seed: u64| {
+            let mut llc =
+                rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive).with_fault_sampling(engine, seed);
+            let stride = llc.cache.sets() * 64;
+            let mut t = 0u64;
+            for i in 0..3000u64 {
+                t += 200;
+                llc.access((i % 16) * stride, AccessKind::Read, t);
+            }
+            let s = llc.stats();
+            (s.sampled_shifts, s.observed_errors)
+        };
+        for engine in [Engine::Analytic, Engine::MonteCarlo] {
+            assert_eq!(run(engine, 77), run(engine, 77), "{engine}");
+        }
     }
 
     #[test]

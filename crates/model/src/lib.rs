@@ -14,8 +14,14 @@
 //! * [`montecarlo`] — Monte-Carlo estimation of position-error PDFs
 //!   (the paper's Fig. 4) with Gaussian tail extrapolation, chunked
 //!   across the `rtm-par` pool with thread-count-invariant output;
-//! * [`pdfcache`] — a process-wide memo cache so repeated figure runs
-//!   stop recomputing identical PDFs;
+//! * [`analytic`] — the closed-form engine: exact Fig. 4 bin and
+//!   Table 2 rate probabilities from erf bands on the `NoiseModel`
+//!   Gaussian, plus a convolution layer composing per-shift offset
+//!   distributions across access sequences;
+//! * [`alias`] — Walker alias-table outcome sampling: one RNG draw and
+//!   two array reads per simulated shift on the hot paths;
+//! * [`pdfcache`] — a process-wide memo cache (keyed per engine) so
+//!   repeated figure runs stop recomputing identical PDFs;
 //! * [`rates`] — the canonical out-of-step rate table (the paper's
 //!   Table 2) plus interpolation, and the MTTF-vs-rate curve of Fig. 1.
 //!
@@ -39,6 +45,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alias;
+pub mod analytic;
 pub mod dynamics;
 pub mod dynamics1d;
 pub mod montecarlo;
@@ -48,6 +56,8 @@ pub mod rates;
 pub mod shift;
 pub mod sts;
 
+pub use alias::{AliasTable, OutcomeAliasSampler};
+pub use analytic::{AnalyticEngine, Engine, OffsetDistribution};
 pub use params::{DeviceParams, DeviceSample};
 pub use rates::OutOfStepRates;
 pub use shift::{ShiftOutcome, ShiftSimulator};

@@ -152,14 +152,14 @@ impl PositionPdf {
 
 /// Analytic probability of a bin under the displacement Gaussian with
 /// the capture-window settle rule.
+///
+/// Delegates to the analytic engine's two-sided stable band: the old
+/// survival-function difference lost all precision for bins far below
+/// the mean (both sf values round to 1.0), reporting ~0 where the true
+/// mass is merely astronomically small.
 fn analytic_bin_probability(noise: &NoiseModel, fit: &GaussianFit, bin: PositionBin) -> f64 {
     let w = noise.capture_half_window;
-    let band = |a: f64, b: f64| -> f64 {
-        // P(a < e < b) via the fitted Gaussian, stable in the tails.
-        let upper = fit.ln_sf(a).exp();
-        let beyond = fit.ln_sf(b).exp();
-        (upper - beyond).max(0.0)
-    };
+    let band = |a: f64, b: f64| crate::analytic::gaussian_band(fit.mu, fit.sigma, a, b);
     match bin {
         PositionBin::AtStep(k) => band(k as f64 - w, k as f64 + w),
         PositionBin::Between(k) => band(k as f64 + w, k as f64 + 1.0 - w),
@@ -294,31 +294,38 @@ pub fn position_pdf_with_threads(
     }
 }
 
-/// Convenience: the three Fig. 4 panels (1-, 4- and 7-step shifts).
+/// Convenience: the three Fig. 4 panels (1-, 4- and 7-step shifts)
+/// from the Monte-Carlo engine.
 ///
 /// Panels go through the PDF memo cache ([`crate::pdfcache`]), so
 /// repeated figure runs with identical inputs are free.
 pub fn figure4(params: &DeviceParams, trials: u64, seed: u64) -> [PositionPdf; 3] {
-    [
-        crate::pdfcache::position_pdf_cached(
+    figure4_with_engine(params, trials, seed, crate::analytic::Engine::MonteCarlo)
+}
+
+/// [`figure4`] from the requested engine.
+///
+/// For [`crate::analytic::Engine::Analytic`] the panels come from the
+/// closed form (trials and seed are irrelevant and the returned PDFs
+/// carry `trials == 0`); for Monte-Carlo each panel runs `trials`
+/// simulations on a distance-derived seed. Both go through the
+/// engine-tagged PDF memo cache.
+pub fn figure4_with_engine(
+    params: &DeviceParams,
+    trials: u64,
+    seed: u64,
+    engine: crate::analytic::Engine,
+) -> [PositionPdf; 3] {
+    let panel = |d: u32| {
+        crate::pdfcache::position_pdf_cached_engine(
             params,
-            1,
+            d,
             trials,
-            rtm_util::rng::derive_seed(seed, 1),
-        ),
-        crate::pdfcache::position_pdf_cached(
-            params,
-            4,
-            trials,
-            rtm_util::rng::derive_seed(seed, 4),
-        ),
-        crate::pdfcache::position_pdf_cached(
-            params,
-            7,
-            trials,
-            rtm_util::rng::derive_seed(seed, 7),
-        ),
-    ]
+            rtm_util::rng::derive_seed(seed, d as u64),
+            engine,
+        )
+    };
+    [panel(1), panel(4), panel(7)]
 }
 
 #[cfg(test)]

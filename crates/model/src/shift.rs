@@ -183,6 +183,14 @@ impl NoiseModel {
 /// A reusable stochastic shift simulator (one per stripe or per
 /// experiment).
 ///
+/// By default outcomes come from the direct Gaussian pipeline
+/// (`sample_error` → `settle`, two Box-Muller draws plus branches).
+/// [`ShiftSimulator::with_engine`] selects the alias-table fast path
+/// instead: distribution-equivalent outcomes from one RNG draw and two
+/// array reads per shift (see [`crate::alias`]). The two paths consume
+/// the RNG differently, so equal seeds give different (equally valid)
+/// sample streams.
+///
 /// # Examples
 ///
 /// ```
@@ -198,6 +206,7 @@ impl NoiseModel {
 pub struct ShiftSimulator {
     noise: NoiseModel,
     rng: SmallRng64,
+    sampler: Option<crate::alias::OutcomeAliasSampler>,
 }
 
 impl ShiftSimulator {
@@ -206,6 +215,7 @@ impl ShiftSimulator {
         Self {
             noise: NoiseModel::from_params(&params),
             rng: SmallRng64::new(seed),
+            sampler: None,
         }
     }
 
@@ -215,7 +225,25 @@ impl ShiftSimulator {
         Self {
             noise,
             rng: SmallRng64::new(seed),
+            sampler: None,
         }
+    }
+
+    /// Creates a simulator whose outcomes are produced by the chosen
+    /// engine: [`crate::analytic::Engine::MonteCarlo`] is the direct
+    /// Gaussian pipeline (same as [`ShiftSimulator::new`]),
+    /// [`crate::analytic::Engine::Analytic`] precomputes alias tables
+    /// for distances `1..=crate::rates::MAX_TABULATED_DISTANCE` and
+    /// samples in O(1).
+    pub fn with_engine(params: DeviceParams, seed: u64, engine: crate::analytic::Engine) -> Self {
+        let mut sim = Self::new(params, seed);
+        if engine == crate::analytic::Engine::Analytic {
+            sim.sampler = Some(crate::alias::OutcomeAliasSampler::new(
+                sim.noise,
+                crate::rates::MAX_TABULATED_DISTANCE,
+            ));
+        }
+        sim
     }
 
     /// The underlying noise model.
@@ -227,9 +255,13 @@ impl ShiftSimulator {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` (or, on the alias fast path, if `n` exceeds
+    /// the tabulated distance range).
     pub fn shift_raw(&mut self, n: u32) -> ShiftOutcome {
         assert!(n > 0, "a shift must move at least one step");
+        if let Some(sampler) = &self.sampler {
+            return sampler.sample_raw(n, &mut self.rng);
+        }
         let e = self.noise.sample_error(n, &mut self.rng);
         self.noise.settle(e)
     }
@@ -237,10 +269,19 @@ impl ShiftSimulator {
     /// Simulates a full STS two-stage `n`-step shift: stop-in-middle
     /// outcomes are converted to out-of-step per Section 4.1.
     ///
+    /// On the alias fast path this is a single table draw — the STS
+    /// tables already fold the stage-2 push into the outcome classes,
+    /// so no fractional mid-flat position is ever materialised.
+    ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` (or, on the alias fast path, if `n` exceeds
+    /// the tabulated distance range).
     pub fn shift_with_sts(&mut self, n: u32) -> ShiftOutcome {
+        assert!(n > 0, "a shift must move at least one step");
+        if let Some(sampler) = &self.sampler {
+            return sampler.sample_sts(n, &mut self.rng);
+        }
         let raw = self.shift_raw(n);
         self.noise.apply_sts(raw)
     }
@@ -411,5 +452,35 @@ mod tests {
     fn zero_step_shift_rejected() {
         let mut sim = ShiftSimulator::new(DeviceParams::table1(), 1);
         let _ = sim.shift_raw(0);
+    }
+
+    #[test]
+    fn engine_simulator_matches_closed_form_error_rate() {
+        use crate::analytic::{AnalyticEngine, Engine};
+        let mut sim = ShiftSimulator::with_engine(DeviceParams::table1(), 8080, Engine::Analytic);
+        let expected = 1.0 - AnalyticEngine::new(*sim.noise()).sts_offset_probability(7, 0);
+        let n = 2_000_000u64;
+        let mut errors = 0u64;
+        for _ in 0..n {
+            if !sim.shift_with_sts(7).is_success() {
+                errors += 1;
+            }
+        }
+        let rate = errors as f64 / n as f64;
+        let tol = 3.0 * (expected * (1.0 - expected) / n as f64).sqrt();
+        assert!(
+            (rate - expected).abs() < tol,
+            "alias rate {rate:.3e} vs closed form {expected:.3e} (tol {tol:.3e})"
+        );
+    }
+
+    #[test]
+    fn mc_engine_simulator_is_the_default_pipeline() {
+        use crate::analytic::Engine;
+        let mut a = ShiftSimulator::with_engine(DeviceParams::table1(), 5, Engine::MonteCarlo);
+        let mut b = ShiftSimulator::new(DeviceParams::table1(), 5);
+        for _ in 0..1000 {
+            assert_eq!(a.shift_with_sts(4), b.shift_with_sts(4));
+        }
     }
 }

@@ -1,0 +1,213 @@
+//! Property tests for the analytic position-error engine: exact
+//! normalization, agreement with high-fidelity Monte-Carlo, Table 2
+//! anchor reproduction, alias-table goodness of fit, and the
+//! convolution layer against simulated multi-shift runs.
+
+use rtm_model::alias::OutcomeAliasSampler;
+use rtm_model::analytic::{AnalyticEngine, Engine};
+use rtm_model::montecarlo::{position_pdf, PositionBin};
+use rtm_model::params::DeviceParams;
+use rtm_model::rates::OutOfStepRates;
+use rtm_model::shift::{ShiftOutcome, ShiftSimulator};
+
+fn engine() -> AnalyticEngine {
+    AnalyticEngine::from_params(&DeviceParams::table1())
+}
+
+/// 3σ binomial half-width for a class of true probability `p` over `n`
+/// draws, floored so zero-probability classes tolerate zero counts.
+fn three_sigma(p: f64, n: u64) -> f64 {
+    3.0 * (p * (1.0 - p) / n as f64).sqrt() + 1e-12
+}
+
+/// The raw bands (`AtStep` points and `Between` flats) partition the
+/// real line, so their probabilities sum to exactly one; the same holds
+/// for the post-STS offset bands. Both to 1e-12 at every distance.
+#[test]
+fn bin_probabilities_sum_to_one() {
+    let eng = engine();
+    for d in 1..=7u32 {
+        let raw: f64 = (-6i32..=6)
+            .flat_map(|k| {
+                [
+                    eng.raw_bin_probability(d, PositionBin::AtStep(k)),
+                    eng.raw_bin_probability(d, PositionBin::Between(k)),
+                ]
+            })
+            .sum();
+        assert!((raw - 1.0).abs() < 1e-12, "d={d}: raw mass {raw}");
+        let sts: f64 = (-7i32..=8).map(|k| eng.sts_offset_probability(d, k)).sum();
+        assert!((sts - 1.0).abs() < 1e-12, "d={d}: sts mass {sts}");
+    }
+}
+
+/// Closed-form bin probabilities agree with a 4-million-trial
+/// Monte-Carlo within the 3σ binomial envelope, for every Fig. 4 bin
+/// (raw) and the derived ±1/0 post-STS rates, at every distance.
+#[test]
+fn analytic_matches_four_million_trial_monte_carlo() {
+    let params = DeviceParams::table1();
+    let eng = engine();
+    let trials = 4_000_000u64;
+    for d in 1..=7u32 {
+        let pdf = position_pdf(&params, d, trials, 0xA11C ^ d as u64);
+        let emp = |bin: PositionBin| {
+            pdf.bins
+                .iter()
+                .find(|b| b.bin == bin)
+                .map(|b| b.empirical)
+                .unwrap_or(0.0)
+        };
+        for &bin in PositionBin::FIG4.iter() {
+            let p = eng.raw_bin_probability(d, bin);
+            let diff = (emp(bin) - p).abs();
+            assert!(
+                diff <= three_sigma(p, trials),
+                "d={d} bin {}: mc {:.3e} vs analytic {p:.3e}",
+                bin.label(),
+                emp(bin)
+            );
+        }
+        // Post-STS offset k collects the pin at k plus the mid-flat
+        // below it — derive the empirical STS rates from the same run.
+        for k in -1i32..=1 {
+            let mc = emp(PositionBin::AtStep(k)) + emp(PositionBin::Between(k - 1));
+            let p = eng.sts_offset_probability(d, k);
+            assert!(
+                (mc - p).abs() <= three_sigma(p, trials),
+                "d={d} sts offset {k}: mc {mc:.3e} vs analytic {p:.3e}"
+            );
+        }
+    }
+}
+
+/// The calibrated engine reproduces the paper's Table 2 anchors — the
+/// 1-step ±1 rate 4.55e-5 and the 7-step ±1 rate 1.10e-3 — and agrees
+/// with the paper-calibration rate table at both anchors.
+#[test]
+fn calibrated_engine_reproduces_table2_anchors() {
+    let eng = AnalyticEngine::calibrated_to_table2();
+    let paper = OutOfStepRates::paper_calibration();
+    for (d, target) in [(1u32, 4.55e-5), (7u32, 1.10e-3)] {
+        let rate = eng.table2_rate(d, 1);
+        assert!(
+            (rate - target).abs() / target < 1e-6,
+            "d={d}: calibrated {rate:.6e} vs paper {target:.2e}"
+        );
+        let tabulated = paper.rate(d, 1);
+        assert!(
+            (rate - tabulated).abs() / tabulated < 1e-6,
+            "d={d}: calibrated {rate:.6e} vs tabulated {tabulated:.6e}"
+        );
+    }
+}
+
+/// Chi-squared goodness of fit of one million raw alias-table draws
+/// against the closed-form seven-bin distribution, with the Gaussian
+/// reference sampler run alongside under the same test — the alias
+/// fast path must not fit worse than chance allows. Bins whose
+/// expected count is below 10 pool into a rest class.
+#[test]
+fn alias_raw_sampling_fits_closed_form() {
+    let params = DeviceParams::table1();
+    let eng = engine();
+    let draws = 1_000_000u64;
+    let distance = 7u32;
+    let chi2_of = |sim: &mut ShiftSimulator| {
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..draws {
+            *counts
+                .entry(PositionBin::of(&sim.shift_raw(distance)))
+                .or_insert(0u64) += 1;
+        }
+        let mut chi2 = 0.0f64;
+        let mut pooled_obs = draws as f64;
+        let mut pooled_exp = draws as f64;
+        for &bin in PositionBin::FIG4.iter() {
+            let expected = eng.raw_bin_probability(distance, bin) * draws as f64;
+            if expected < 10.0 {
+                continue;
+            }
+            let observed = counts.get(&bin).copied().unwrap_or(0) as f64;
+            chi2 += (observed - expected).powi(2) / expected;
+            pooled_obs -= observed;
+            pooled_exp -= expected;
+        }
+        if pooled_exp >= 10.0 {
+            chi2 += (pooled_obs - pooled_exp).powi(2) / pooled_exp;
+        }
+        chi2
+    };
+    // p = 0.001 critical value for chi-squared with 7 degrees of
+    // freedom is 24.3; both samplers must sit below it.
+    let mut alias = ShiftSimulator::with_engine(params, 77, Engine::Analytic);
+    let chi2_alias = chi2_of(&mut alias);
+    assert!(chi2_alias < 24.3, "alias chi2 {chi2_alias:.2}");
+    let mut gaussian = ShiftSimulator::new(params, 78);
+    let chi2_gauss = chi2_of(&mut gaussian);
+    assert!(chi2_gauss < 24.3, "gaussian chi2 {chi2_gauss:.2}");
+}
+
+/// The convolution layer's end-of-run misalignment probability matches
+/// a Monte-Carlo of the same shift sequence within 3σ, and the alias
+/// sampler drives that Monte-Carlo to the same answer as the Gaussian
+/// path.
+#[test]
+fn convolution_predicts_sequence_misalignment() {
+    let params = DeviceParams::table1();
+    let eng = engine();
+    let sequence: Vec<u32> = (0..16u32).map(|i| 1 + i % 7).collect();
+    let predicted = eng
+        .sequence_offset_distribution(&sequence)
+        .misalignment_probability();
+    let runs = 100_000u64;
+    let observe = |sim: &mut ShiftSimulator| {
+        let mut misaligned = 0u64;
+        for _ in 0..runs {
+            let mut position = 0i64;
+            for &d in &sequence {
+                if let ShiftOutcome::Pinned { offset } = sim.shift_with_sts(d) {
+                    position += offset as i64;
+                }
+            }
+            if position != 0 {
+                misaligned += 1;
+            }
+        }
+        misaligned as f64 / runs as f64
+    };
+    for (label, mut sim) in [
+        ("gaussian", ShiftSimulator::new(params, 5)),
+        (
+            "alias",
+            ShiftSimulator::with_engine(params, 6, Engine::Analytic),
+        ),
+    ] {
+        let observed = observe(&mut sim);
+        assert!(
+            (observed - predicted).abs() <= three_sigma(predicted, runs),
+            "{label}: observed {observed:.4e} vs predicted {predicted:.4e}"
+        );
+    }
+    // Direct alias STS draws (the one-draw fast path used by the
+    // memory hierarchy) agree too.
+    let sampler = OutcomeAliasSampler::from_params(&params, 7);
+    let mut rng = rtm_util::rng::SmallRng64::new(9);
+    let mut misaligned = 0u64;
+    for _ in 0..runs {
+        let mut position = 0i64;
+        for &d in &sequence {
+            if let ShiftOutcome::Pinned { offset } = sampler.sample_sts(d, &mut rng) {
+                position += offset as i64;
+            }
+        }
+        if position != 0 {
+            misaligned += 1;
+        }
+    }
+    let observed = misaligned as f64 / runs as f64;
+    assert!(
+        (observed - predicted).abs() <= three_sigma(predicted, runs),
+        "direct alias: observed {observed:.4e} vs predicted {predicted:.4e}"
+    );
+}

@@ -10,6 +10,7 @@
 //! actually happened to the stripe — including whether the data is
 //! silently desynchronised.
 
+use rtm_model::alias::AliasTable;
 use rtm_model::shift::ShiftOutcome;
 use rtm_pecc::code::Verdict;
 use rtm_pecc::layout::ProtectionKind;
@@ -18,8 +19,15 @@ use rtm_track::fault::FaultModel;
 use rtm_track::geometry::StripeGeometry;
 use rtm_util::rng::SmallRng64;
 
+/// The five inflated outcome classes, in alias-table slot order.
+const INFLATED_OFFSETS: [i32; 5] = [0, 1, -1, 2, -2];
+
 /// A fault model with uniformly inflated ±k rates, for making rare
 /// events observable in bounded test time.
+///
+/// Outcomes are drawn from a precomputed five-class Walker alias table
+/// (`{clean, +1, −1, +2, −2}`) — one RNG draw per sample instead of
+/// the old ladder walk plus a second sign draw.
 #[derive(Debug, Clone)]
 pub struct InflatedFaultModel {
     /// Probability of a ±1 error per shift operation.
@@ -28,6 +36,7 @@ pub struct InflatedFaultModel {
     pub p2: f64,
     /// Fraction of errors that over-shift.
     pub plus_fraction: f64,
+    table: AliasTable,
     rng: SmallRng64,
 }
 
@@ -41,10 +50,18 @@ impl InflatedFaultModel {
         assert!((0.0..=1.0).contains(&p1) && (0.0..=1.0).contains(&p2));
         assert!(p1 + p2 <= 1.0, "probabilities must not exceed 1");
         assert!((0.0..=1.0).contains(&plus_fraction));
+        let weights = [
+            (1.0 - p1 - p2).max(0.0),
+            p1 * plus_fraction,
+            p1 * (1.0 - plus_fraction),
+            p2 * plus_fraction,
+            p2 * (1.0 - plus_fraction),
+        ];
         Self {
             p1,
             p2,
             plus_fraction,
+            table: AliasTable::new(&weights),
             rng: SmallRng64::new(seed),
         }
     }
@@ -52,20 +69,8 @@ impl InflatedFaultModel {
 
 impl FaultModel for InflatedFaultModel {
     fn sample(&mut self, _distance: u32) -> ShiftOutcome {
-        let u = self.rng.next_f64();
-        let k = if u < self.p1 {
-            1
-        } else if u < self.p1 + self.p2 {
-            2
-        } else {
-            return ShiftOutcome::Pinned { offset: 0 };
-        };
-        let sign = if self.rng.chance(self.plus_fraction) {
-            1
-        } else {
-            -1
-        };
-        ShiftOutcome::Pinned { offset: sign * k }
+        let offset = INFLATED_OFFSETS[self.table.sample(&mut self.rng)];
+        ShiftOutcome::Pinned { offset }
     }
 }
 

@@ -1,18 +1,27 @@
 //! Pluggable shift fault models.
 //!
 //! A fault model answers one question: *what happened physically when a
-//! stripe was commanded to shift `d` steps?* Three implementations:
+//! stripe was commanded to shift `d` steps?* Implementations:
 //!
 //! * [`IdealFaultModel`] — every shift succeeds (functional modelling,
 //!   p-ECC layout tests);
 //! * [`CalibratedFaultModel`] — draws out-of-step errors from the
 //!   paper's Table 2 calibration ([`rtm_model::OutOfStepRates`]),
 //!   assuming STS so stop-in-middle never occurs;
+//! * [`GaussianFaultModel`] — the first-principles noise model: draws
+//!   the continuous displacement error, settles it, applies STS;
+//! * [`AliasFaultModel`] — distribution-equivalent to the Gaussian
+//!   model but one RNG draw + two array reads per shift via the
+//!   precomputed alias tables of [`rtm_model::alias`];
+//! * [`EngineFaultModel`] — dispatches between the last two by
+//!   [`rtm_model::Engine`], for `--engine` plumbing;
 //! * [`ScriptedFaultModel`] — replays a fixed outcome sequence, for
 //!   deterministic tests of detection/correction logic.
 
+use rtm_model::analytic::Engine;
+use rtm_model::params::DeviceParams;
 use rtm_model::rates::OutOfStepRates;
-use rtm_model::shift::ShiftOutcome;
+use rtm_model::shift::{NoiseModel, ShiftOutcome};
 use rtm_util::rng::SmallRng64;
 
 /// Decides the physical outcome of each commanded shift.
@@ -94,6 +103,148 @@ impl FaultModel for CalibratedFaultModel {
             }
         }
         ShiftOutcome::Pinned { offset: 0 }
+    }
+}
+
+/// Draws shift outcomes from the first-principles displacement noise
+/// model: sample the continuous error, settle it against the capture
+/// window, apply the STS stage-2 push. Every outcome is `Pinned`.
+///
+/// This is the reference stochastic path (two Box-Muller draws plus
+/// branches per shift); [`AliasFaultModel`] samples the identical
+/// distribution in O(1).
+#[derive(Debug, Clone)]
+pub struct GaussianFaultModel {
+    noise: NoiseModel,
+    rng: SmallRng64,
+    injected: u64,
+    sampled: u64,
+}
+
+impl GaussianFaultModel {
+    /// Model over the noise model derived from `params`.
+    pub fn new(params: &DeviceParams, seed: u64) -> Self {
+        Self {
+            noise: NoiseModel::from_params(params),
+            rng: SmallRng64::new(seed),
+            injected: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Number of faulty outcomes produced so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of outcomes sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+}
+
+impl FaultModel for GaussianFaultModel {
+    fn sample(&mut self, distance: u32) -> ShiftOutcome {
+        self.sampled += 1;
+        let e = self.noise.sample_error(distance, &mut self.rng);
+        let out = self.noise.apply_sts(self.noise.settle(e));
+        if !out.is_success() {
+            self.injected += 1;
+        }
+        out
+    }
+}
+
+/// Draws STS shift outcomes from precomputed Walker alias tables —
+/// distribution-equivalent to [`GaussianFaultModel`] at one RNG draw
+/// and two array reads per shift.
+#[derive(Debug, Clone)]
+pub struct AliasFaultModel {
+    sampler: rtm_model::OutcomeAliasSampler,
+    rng: SmallRng64,
+    injected: u64,
+    sampled: u64,
+}
+
+impl AliasFaultModel {
+    /// Model with tables for distances
+    /// `1..=rtm_model::rates::MAX_TABULATED_DISTANCE`.
+    pub fn new(params: &DeviceParams, seed: u64) -> Self {
+        Self {
+            sampler: rtm_model::OutcomeAliasSampler::from_params(
+                params,
+                rtm_model::rates::MAX_TABULATED_DISTANCE,
+            ),
+            rng: SmallRng64::new(seed),
+            injected: 0,
+            sampled: 0,
+        }
+    }
+
+    /// Number of faulty outcomes produced so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Number of outcomes sampled so far.
+    pub fn sampled(&self) -> u64 {
+        self.sampled
+    }
+}
+
+impl FaultModel for AliasFaultModel {
+    fn sample(&mut self, distance: u32) -> ShiftOutcome {
+        self.sampled += 1;
+        let out = self.sampler.sample_sts(distance, &mut self.rng);
+        if !out.is_success() {
+            self.injected += 1;
+        }
+        out
+    }
+}
+
+/// A fault model selected by [`Engine`]: the Gaussian reference path
+/// for Monte-Carlo, the alias fast path for analytic.
+#[derive(Debug, Clone)]
+pub enum EngineFaultModel {
+    /// Direct Gaussian sampling (validation oracle).
+    Gaussian(GaussianFaultModel),
+    /// Alias-table sampling (fast path).
+    Alias(AliasFaultModel),
+}
+
+impl EngineFaultModel {
+    /// Builds the fault model the engine prescribes.
+    pub fn new(engine: Engine, params: &DeviceParams, seed: u64) -> Self {
+        match engine {
+            Engine::MonteCarlo => Self::Gaussian(GaussianFaultModel::new(params, seed)),
+            Engine::Analytic => Self::Alias(AliasFaultModel::new(params, seed)),
+        }
+    }
+
+    /// Number of faulty outcomes produced so far.
+    pub fn injected(&self) -> u64 {
+        match self {
+            Self::Gaussian(m) => m.injected(),
+            Self::Alias(m) => m.injected(),
+        }
+    }
+
+    /// Number of outcomes sampled so far.
+    pub fn sampled(&self) -> u64 {
+        match self {
+            Self::Gaussian(m) => m.sampled(),
+            Self::Alias(m) => m.sampled(),
+        }
+    }
+}
+
+impl FaultModel for EngineFaultModel {
+    fn sample(&mut self, distance: u32) -> ShiftOutcome {
+        match self {
+            Self::Gaussian(m) => m.sample(distance),
+            Self::Alias(m) => m.sample(distance),
+        }
     }
 }
 
@@ -180,6 +331,53 @@ mod tests {
         let errs_1: u64 = (0..trials).filter(|_| !m.sample(1).is_success()).count() as u64;
         let errs_7: u64 = (0..trials).filter(|_| !m.sample(7).is_success()).count() as u64;
         assert!(errs_7 > errs_1 * 3, "1-step {errs_1} vs 7-step {errs_7}");
+    }
+
+    #[test]
+    fn gaussian_and_alias_models_agree_in_distribution() {
+        let params = DeviceParams::table1();
+        let mut gauss = GaussianFaultModel::new(&params, 71);
+        let mut alias = AliasFaultModel::new(&params, 72);
+        let trials = 2_000_000u64;
+        let mut g_err = 0u64;
+        let mut a_err = 0u64;
+        for _ in 0..trials {
+            if !gauss.sample(7).is_success() {
+                g_err += 1;
+            }
+            if !alias.sample(7).is_success() {
+                a_err += 1;
+            }
+        }
+        assert_eq!(gauss.sampled(), trials);
+        assert_eq!(alias.sampled(), trials);
+        assert_eq!(gauss.injected(), g_err);
+        assert_eq!(alias.injected(), a_err);
+        // Same underlying distribution: rates within two pooled
+        // binomial sigmas of each other.
+        let p = (g_err + a_err) as f64 / (2 * trials) as f64;
+        let sigma = (2.0 * p * (1.0 - p) / trials as f64).sqrt();
+        let diff = (g_err as f64 - a_err as f64).abs() / trials as f64;
+        assert!(
+            diff < 3.0 * sigma,
+            "gaussian {g_err} vs alias {a_err} (3sigma {:.1})",
+            3.0 * sigma * trials as f64
+        );
+    }
+
+    #[test]
+    fn engine_model_dispatches_by_engine() {
+        let params = DeviceParams::table1();
+        let mut mc = EngineFaultModel::new(Engine::MonteCarlo, &params, 4);
+        let mut an = EngineFaultModel::new(Engine::Analytic, &params, 4);
+        assert!(matches!(mc, EngineFaultModel::Gaussian(_)));
+        assert!(matches!(an, EngineFaultModel::Alias(_)));
+        for _ in 0..1000 {
+            assert!(mc.sample(3).step_offset().is_some());
+            assert!(an.sample(3).step_offset().is_some());
+        }
+        assert_eq!(mc.sampled(), 1000);
+        assert_eq!(an.sampled(), 1000);
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub mod stripe;
 
 pub use array::StripeArray;
 pub use bit::Bit;
-pub use fault::{CalibratedFaultModel, FaultModel, IdealFaultModel, ScriptedFaultModel};
+pub use fault::{
+    AliasFaultModel, CalibratedFaultModel, EngineFaultModel, FaultModel, GaussianFaultModel,
+    IdealFaultModel, ScriptedFaultModel,
+};
 pub use geometry::StripeGeometry;
 pub use stripe::{SegmentedStripe, Stripe};
