@@ -1,0 +1,208 @@
+//! Serving-layer scheduling benchmark: FCFS vs FR-FCFS vs shift-aware
+//! on the contended four-tenant mixes, p-ECC-S adaptive LLC. Emits a
+//! machine-readable `BENCH_serve.json` with one row per
+//! (policy, workload); with `--check` it reruns the matrix on one
+//! worker and on `--threads` workers and exits non-zero if any
+//! statistic (wall times excluded — they are measurements, not model
+//! output) differs between the two runs.
+//!
+//! ```text
+//! cargo run --release -p rtm-bench --bin bench-serve
+//! cargo run --release -p rtm-bench --bin bench-serve -- \
+//!     --quick --check --threads 8 --out BENCH_serve.json
+//! ```
+
+use rtm_obs::json::Json;
+use rtm_serve::{SchedPolicy, ServeConfig, ServeResult, ServeSim};
+use rtm_trace::{MixedTraceGenerator, WorkloadProfile};
+use std::time::Instant;
+
+/// Tenants per workload mix (matches the `serve` experiment).
+const TENANTS: usize = 4;
+
+struct Cell {
+    policy: SchedPolicy,
+    workload: &'static str,
+    wall_ms: f64,
+    result: ServeResult,
+}
+
+fn run_cell(workload: &str, policy: SchedPolicy, requests: u64) -> (f64, ServeResult) {
+    let p = WorkloadProfile::by_name(workload).expect("known workload");
+    let seed = rtm_util::rng::derive_seed(2015, seed_of(workload));
+    let mut mix = MixedTraceGenerator::new(&vec![p; TENANTS], seed);
+    let cfg = ServeConfig::new(policy).with_requests(requests);
+    let start = Instant::now();
+    let result = ServeSim::new(cfg).run(&mut mix);
+    (start.elapsed().as_secs_f64() * 1e3, result)
+}
+
+fn seed_of(name: &str) -> u64 {
+    name.bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64))
+}
+
+fn run_matrix(workloads: &[&'static str], requests: u64, threads: usize) -> Vec<Cell> {
+    let grid: Vec<(&'static str, SchedPolicy)> = workloads
+        .iter()
+        .flat_map(|&w| SchedPolicy::ALL.into_iter().map(move |p| (w, p)))
+        .collect();
+    let results = rtm_par::parallel_map_with(threads, grid.len(), |i| {
+        let (w, p) = grid[i];
+        run_cell(w, p, requests)
+    });
+    grid.into_iter()
+        .zip(results)
+        .map(|((workload, policy), (wall_ms, result))| Cell {
+            policy,
+            workload,
+            wall_ms,
+            result,
+        })
+        .collect()
+}
+
+fn main() {
+    let mut quick = false;
+    let mut check = false;
+    let mut out = std::path::PathBuf::from("BENCH_serve.json");
+    let mut threads = rtm_par::available_parallelism();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--out" => {
+                out = args
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --out needs a path");
+                        std::process::exit(2);
+                    })
+                    .into();
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threads needs a positive count");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("error: unknown flag {other}");
+                eprintln!("usage: bench-serve [--quick] [--check] [--threads N] [--out file.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let workloads: Vec<&'static str> = if quick {
+        vec!["canneal", "streamcluster", "ferret", "dedup"]
+    } else {
+        WorkloadProfile::parsec().iter().map(|p| p.name).collect()
+    };
+    let requests: u64 = if quick { 10_000 } else { 60_000 };
+
+    eprintln!(
+        "serving matrix: {} workloads x {} policies x {requests} requests ({threads} threads)...",
+        workloads.len(),
+        SchedPolicy::ALL.len()
+    );
+    let cells = run_matrix(&workloads, requests, threads);
+
+    if check {
+        eprintln!("determinism check: rerunning on 1 worker...");
+        let base = run_matrix(&workloads, requests, 1);
+        let diverged: Vec<&str> = cells
+            .iter()
+            .zip(&base)
+            .filter(|(a, b)| a.result != b.result)
+            .map(|(a, _)| a.workload)
+            .collect();
+        if !diverged.is_empty() {
+            eprintln!(
+                "DETERMINISM REGRESSION: {threads}-thread stats differ from \
+                 1-thread baseline on: {}",
+                diverged.join(", ")
+            );
+            std::process::exit(1);
+        }
+        eprintln!("determinism check: {threads}-thread stats identical to 1-thread baseline");
+    }
+
+    // Headline: shift-aware vs FCFS per workload.
+    for w in &workloads {
+        let find = |pol| {
+            cells
+                .iter()
+                .find(|c| c.workload == *w && c.policy == pol)
+                .expect("cell ran")
+        };
+        let fcfs = find(SchedPolicy::Fcfs);
+        let aware = find(SchedPolicy::ShiftAware);
+        eprintln!(
+            "{w}: shift-aware vs fcfs: throughput {:+.2}%, completion {:+.2}%, \
+             shift cycles {:+.2}%, mean service {:+.2}%, total p99 {:+.2}%",
+            (aware.result.throughput_req_per_kcycle() / fcfs.result.throughput_req_per_kcycle()
+                - 1.0)
+                * 100.0,
+            (aware.result.cycles as f64 / fcfs.result.cycles as f64 - 1.0) * 100.0,
+            (aware.result.llc.shift_cycles as f64 / fcfs.result.llc.shift_cycles.max(1) as f64
+                - 1.0)
+                * 100.0,
+            (aware.result.service.mean() / fcfs.result.service.mean() - 1.0) * 100.0,
+            (aware.result.total.p99 as f64 / fcfs.result.total.p99.max(1) as f64 - 1.0) * 100.0,
+        );
+    }
+
+    let rows: Vec<Json> = cells
+        .iter()
+        .map(|c| {
+            let r = &c.result;
+            Json::obj(vec![
+                ("policy", Json::Str(c.policy.label().to_string())),
+                ("workload", Json::Str(c.workload.to_string())),
+                ("wall_ms", Json::Num(c.wall_ms)),
+                ("p99_latency_cycles", Json::Num(r.total.p99 as f64)),
+                (
+                    "throughput_req_per_kcycle",
+                    Json::Num(r.throughput_req_per_kcycle()),
+                ),
+                ("requests", Json::Num(r.requests as f64)),
+                ("cycles", Json::Num(r.cycles as f64)),
+                ("queue_delay_p99", Json::Num(r.queue_delay.p99 as f64)),
+                ("service_p50", Json::Num(r.service.p50 as f64)),
+                ("service_p99", Json::Num(r.service.p99 as f64)),
+                ("mean_service", Json::Num(r.service.mean())),
+                ("total_p50", Json::Num(r.total.p50 as f64)),
+                ("read_total_p99", Json::Num(r.read_total.p99 as f64)),
+                ("mean_total", Json::Num(r.total.mean())),
+                ("shift_cycles", Json::Num(r.llc.shift_cycles as f64)),
+                (
+                    "zero_shift_dispatches",
+                    Json::Num(r.zero_shift_dispatches as f64),
+                ),
+                (
+                    "backpressure_stalls",
+                    Json::Num(r.backpressure_stalls as f64),
+                ),
+            ])
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("rtm-bench-serve/v1".to_string())),
+        ("threads", Json::Num(threads as f64)),
+        ("quick", Json::Bool(quick)),
+        ("requests_per_cell", Json::Num(requests as f64)),
+        ("tenants", Json::Num(TENANTS as f64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    if let Err(e) = rtm_obs::export::write_json(&out, &doc) {
+        eprintln!("error: cannot write {}: {e}", out.display());
+        std::process::exit(2);
+    }
+    eprintln!("wrote {}", out.display());
+}

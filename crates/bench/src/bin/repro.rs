@@ -15,15 +15,18 @@
 //! count for the Monte-Carlo and sweep fan-out (default: all cores;
 //! output is bit-identical for any value); `--engine mc|analytic`
 //! selects the position-error engine for fig4/ablation PDFs and the
-//! fig14 sampling path (default: analytic closed form).
+//! fig14 sampling path (default: analytic closed form); `--policy
+//! fcfs|fr-fcfs|shift-aware` narrows the `serve` experiment's report
+//! to one scheduling policy (FCFS rows stay as the baseline).
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
-    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp, RtVariant,
-    SimSweep, SweepSettings,
+    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp, serving,
+    RtVariant, SimSweep, SweepSettings,
 };
 use rtm_mem::hierarchy::LlcChoice;
 use rtm_model::analytic::Engine;
+use rtm_serve::SchedPolicy;
 
 struct Options {
     experiments: Vec<String>,
@@ -34,6 +37,7 @@ struct Options {
     progress: bool,
     accesses: Option<u64>,
     engine: Engine,
+    policy: Option<SchedPolicy>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +49,7 @@ fn parse_args() -> Result<Options, String> {
     let mut progress = false;
     let mut accesses = None;
     let mut engine = Engine::default();
+    let mut policy = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -95,6 +100,14 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--engine needs mc or analytic")?;
                 engine = v.parse()?;
             }
+            "--policy" => {
+                let v = args
+                    .next()
+                    .ok_or("--policy needs fcfs, fr-fcfs or shift-aware")?;
+                policy = Some(SchedPolicy::by_name(&v).ok_or(format!(
+                    "--policy: unknown policy {v} (fcfs, fr-fcfs, shift-aware)"
+                ))?);
+            }
             "--quick" => quick = true,
             "--list" => {
                 println!("all");
@@ -118,6 +131,7 @@ fn parse_args() -> Result<Options, String> {
         progress,
         accesses,
         engine,
+        policy,
     })
 }
 
@@ -180,6 +194,34 @@ fn main() {
     } else {
         None
     };
+    let serve_sweep = if wanted("serve") {
+        let s = if opts.quick {
+            let mut s = serving::ServeSettings::quick();
+            s.workloads = None; // all workloads, short runs
+            s
+        } else {
+            serving::ServeSettings::full()
+        };
+        eprintln!(
+            "running serving sweep ({} workloads x {} schemes x {} policies x {} requests)...",
+            s.profiles().len(),
+            serving::SCHEMES.len(),
+            SchedPolicy::ALL.len(),
+            s.requests
+        );
+        // `--policy` narrows the report to one policy (FCFS rows stay
+        // as the comparison baseline); the sweep itself always runs the
+        // full matrix so the summary has its reference points.
+        let mut sweep = serving::ServeSweep::run(&s);
+        if let Some(p) = opts.policy {
+            sweep
+                .cells
+                .retain(|c| c.policy == p || c.policy == SchedPolicy::Fcfs);
+        }
+        Some(sweep)
+    } else {
+        None
+    };
 
     // Optional machine-readable CSV dumps for the simulation figures.
     if let Some(dir) = &opts.csv_dir {
@@ -210,6 +252,9 @@ fn main() {
             write("fig16", performance::figure16_from(sweep, &settings).csv());
             write("fig17", energy_exp::figure17_from(sweep, &settings).csv());
             write("fig18", energy_exp::figure18_from(sweep, &settings).csv());
+        }
+        if let Some(sweep) = &serve_sweep {
+            write("serve", serving::serving_csv(sweep));
         }
     }
 
@@ -276,6 +321,9 @@ fn main() {
 
     section("ablation", &|| {
         ablation::render_ablations_with_engine(mc_trials / 4, 2015, 5.12e9, opts.engine)
+    });
+    section("serve", &|| {
+        serving::render_serving(serve_sweep.as_ref().expect("sweep ran"))
     });
 
     // Machine-readable run artefacts: metrics registry and shift

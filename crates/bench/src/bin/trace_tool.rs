@@ -5,23 +5,32 @@
 //! trace-tool record canneal 500000 canneal.rtmt [seed]
 //! trace-tool info canneal.rtmt
 //! trace-tool replay canneal.rtmt rm-adaptive
+//! trace-tool serve canneal.rtmt shift-aware [requests]
+//! trace-tool --queue-events q.csv serve canneal.rtmt shift-aware
 //! trace-tool --metrics m.json --events e.json --progress replay canneal.rtmt rm-adaptive
 //! ```
 //!
 //! The leading `--metrics` / `--events` / `--progress` flags switch on
 //! rtm-obs recording for any subcommand and dump JSON snapshots on
-//! exit.
+//! exit. `--queue-events <f.csv>` additionally dumps the serving
+//! layer's queue events (enqueue/dispatch/complete/backpressure) as
+//! CSV — pair it with the `serve` subcommand, which is what generates
+//! them.
 
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice};
+use rtm_serve::{SchedPolicy, ServeConfig, ServeSim};
 use rtm_trace::replay::{read_trace, write_trace};
 use rtm_trace::{TraceGenerator, WorkloadProfile};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  trace-tool [--metrics <f.json>] [--events <f.json>] [--progress] <command>\n  \
+        "usage:\n  trace-tool [--metrics <f.json>] [--events <f.json>] [--queue-events <f.csv>] \
+         [--progress] <command>\n  \
          trace-tool record <workload> <accesses> <file> [seed]\n  \
-         trace-tool info <file>\n  trace-tool replay <file> <llc>\n\n\
-         workloads: {}\nllcs: sram, stt-ram, rm-ideal, rm-bare, rm-pecc-o, rm-adaptive, rm-worst",
+         trace-tool info <file>\n  trace-tool replay <file> <llc>\n  \
+         trace-tool serve <file> <policy> [requests]\n\n\
+         workloads: {}\nllcs: sram, stt-ram, rm-ideal, rm-bare, rm-pecc-o, rm-adaptive, rm-worst\n\
+         policies: fcfs, fr-fcfs, shift-aware",
         WorkloadProfile::parsec()
             .iter()
             .map(|p| p.name)
@@ -48,19 +57,20 @@ fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut metrics: Option<std::path::PathBuf> = None;
     let mut events: Option<std::path::PathBuf> = None;
+    let mut queue_events: Option<std::path::PathBuf> = None;
     // Peel leading observability flags off before subcommand dispatch.
     while let Some(flag) = args.first().map(String::as_str) {
         match flag {
-            "--metrics" | "--events" => {
+            "--metrics" | "--events" | "--queue-events" => {
                 if args.len() < 2 {
                     eprintln!("error: {flag} needs a path");
                     usage();
                 }
                 let path = std::path::PathBuf::from(args.remove(1));
-                if args.remove(0) == "--metrics" {
-                    metrics = Some(path);
-                } else {
-                    events = Some(path);
+                match args.remove(0).as_str() {
+                    "--metrics" => metrics = Some(path),
+                    "--events" => events = Some(path),
+                    _ => queue_events = Some(path),
                 }
             }
             "--progress" => {
@@ -73,7 +83,7 @@ fn main() {
     if metrics.is_some() {
         rtm_obs::global().registry().set_enabled(true);
     }
-    if events.is_some() {
+    if events.is_some() || queue_events.is_some() {
         rtm_obs::global().trace().set_enabled(true);
     }
     match args.first().map(String::as_str) {
@@ -157,6 +167,45 @@ fn main() {
                 rtm_util::units::format_mttf(r.due_mttf())
             );
         }
+        Some("serve") if args.len() >= 3 => {
+            let Some(policy) = SchedPolicy::by_name(&args[2]) else {
+                eprintln!("unknown policy {}", args[2]);
+                usage();
+            };
+            let file = std::fs::File::open(&args[1]).unwrap_or_else(|e| {
+                eprintln!("cannot open {}: {e}", args[1]);
+                std::process::exit(2);
+            });
+            let accesses = read_trace(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+                eprintln!("read failed: {e}");
+                std::process::exit(2);
+            });
+            let n: u64 = args
+                .get(3)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(accesses.len() as u64);
+            let cfg = ServeConfig::new(policy).with_requests(n.min(accesses.len() as u64));
+            let r = ServeSim::new(cfg).run(&mut accesses.into_iter());
+            println!("policy:        {policy}");
+            println!("requests:      {}", r.requests);
+            println!("cycles:        {}", r.cycles);
+            println!("req/kcycle:    {:.2}", r.throughput_req_per_kcycle());
+            println!(
+                "queue delay:   p50 {} p95 {} p99 {} cycles",
+                r.queue_delay.p50, r.queue_delay.p95, r.queue_delay.p99
+            );
+            println!(
+                "service:       p50 {} p95 {} p99 {} cycles",
+                r.service.p50, r.service.p95, r.service.p99
+            );
+            println!(
+                "total:         p50 {} p95 {} p99 {} cycles",
+                r.total.p50, r.total.p95, r.total.p99
+            );
+            println!("zero-shift:    {}", r.zero_shift_dispatches);
+            println!("backpressure:  {}", r.backpressure_stalls);
+            println!("shift cycles:  {}", r.llc.shift_cycles);
+        }
         _ => usage(),
     }
     let write_json = |path: &std::path::Path, doc: &rtm_obs::json::Json| {
@@ -171,5 +220,13 @@ fn main() {
     }
     if let Some(path) = &events {
         write_json(path, &rtm_obs::global().trace().snapshot().to_json());
+    }
+    if let Some(path) = &queue_events {
+        let csv = rtm_obs::global().trace().snapshot().queue_csv();
+        if let Err(e) = std::fs::write(path, csv) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        eprintln!("wrote {}", path.display());
     }
 }

@@ -9,6 +9,7 @@
 //! | [`performance`] | Fig. 14 (shift latency), Fig. 15 (latency sensitivity), Fig. 16 (execution time) |
 //! | [`energy_exp`] | Fig. 17 (LLC dynamic energy), Fig. 18 (total energy) |
 //! | [`ablation`] | drive-ratio, variation-scale, strength and STS ablations the paper discusses in prose |
+//! | [`serving`] | beyond-paper serving-layer study: scheduling policy × workload × protection scheme |
 //!
 //! Every driver returns typed rows plus a rendered text table so the
 //! `repro` binary and EXPERIMENTS.md stay in lock-step with the code.
@@ -21,6 +22,7 @@ pub mod motivation;
 pub mod performance;
 pub mod reliability_exp;
 pub mod report;
+pub mod serving;
 
 mod sweep;
 

@@ -5,6 +5,12 @@
 //! assumption for the adaptive shift controller): each access advances
 //! the clock by its gap instructions plus the latency of the deepest
 //! level it had to reach.
+//!
+//! The single-request assumption is *not* baked in: a hierarchy can be
+//! built around any [`LlcModel`] via [`Hierarchy::with_llc`], which is
+//! how `rtm-serve` substitutes its queued, bank-parallel serving layer
+//! (per-stripe-group queues, multiple in-flight requests) while reusing
+//! the L1/L2 front end unchanged.
 
 use crate::cache::{AccessKind, Cache};
 use crate::llc::{LlcModel, RacetrackLlc, SimpleLlc};
@@ -273,15 +279,29 @@ impl Hierarchy {
     }
 
     fn from_racetrack_llc(llc: RacetrackLlc) -> Self {
-        let config = SystemConfig::paper(CacheTech::Racetrack);
+        Self::with_llc(Box::new(llc), LlcChoice::RacetrackUnprotected)
+    }
+
+    /// Builds the platform around an arbitrary LLC backend — the
+    /// queued-LLC mode: `rtm-serve` wraps a [`RacetrackLlc`] in its
+    /// scheduling layer and mounts it here, so the L1/L2 front end and
+    /// all accounting stay identical to the paper's configuration.
+    /// `choice` labels the result for energy-model purposes.
+    pub fn with_llc(llc: Box<dyn LlcModel>, choice: LlcChoice) -> Self {
+        let tech = match choice {
+            LlcChoice::SramBaseline => CacheTech::Sram,
+            LlcChoice::SttRam => CacheTech::SttRam,
+            _ => CacheTech::Racetrack,
+        };
+        let config = SystemConfig::paper(tech);
         Self {
             l1: (0..config.cores)
                 .map(|_| Cache::new(config.l1.capacity_bytes, config.l1.ways, config.line_bytes))
                 .collect(),
             l2: Cache::new(config.l2.capacity_bytes, config.l2.ways, config.line_bytes),
-            llc: Box::new(llc),
+            llc,
             config,
-            choice: LlcChoice::RacetrackUnprotected,
+            choice,
             cycles: 0,
             instructions: 0,
             accesses: 0,

@@ -10,6 +10,12 @@
 //! residual error probabilities come out of the same machinery the
 //! paper evaluates.
 //!
+//! The hierarchy defaults to the paper's single-request-at-a-time LLC
+//! access model, but does not require it: [`Hierarchy::with_llc`]
+//! accepts any [`llc::LlcModel`], and the `rtm-serve` crate uses that
+//! hook to mount a queued serving layer with per-stripe-group request
+//! queues, bank-level parallelism and pluggable scheduling policies.
+//!
 //! * [`cache`] — generic set-associative LRU cache bookkeeping;
 //! * [`llc`] — the three LLC backends behind one interface;
 //! * [`hierarchy`] — the full system: trace in, statistics out.

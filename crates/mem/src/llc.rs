@@ -215,7 +215,9 @@ impl RacetrackLlc {
 
     /// Builds the racetrack LLC with the given protection scheme and
     /// safe-distance policy, serviced by a single shift controller (the
-    /// paper's default "one request at a time" assumption).
+    /// paper's default "one request at a time" assumption; see
+    /// `rtm-serve` for the queued, bank-parallel serving mode that
+    /// lifts it).
     pub fn new(kind: ProtectionKind, policy: ShiftPolicy) -> Self {
         Self::with_banks(kind, policy, 1)
     }
@@ -344,6 +346,71 @@ impl RacetrackLlc {
         ((line_index / d) as usize, (line_index % d) as usize)
     }
 
+    /// The stripe group an access to `addr` lands in. With 16 ways and
+    /// 64 domains per group this depends only on the set (four
+    /// consecutive sets share a group), so it is exact regardless of
+    /// which way the line occupies — schedulers use it to route
+    /// requests to per-group queues.
+    pub fn group_of(&self, addr: u64) -> usize {
+        let set = self.cache.set_of(addr);
+        self.slot_to_group_domain(set, 0).0
+    }
+
+    /// Number of stripe groups.
+    pub fn groups(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Current head position of a stripe group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn head_position(&self, group: usize) -> u8 {
+        self.heads[group]
+    }
+
+    /// Predicts the shift distance an access to `addr` would need right
+    /// now, without touching any state: the way is resolved by a
+    /// non-mutating cache probe (falling back to the LRU victim the
+    /// allocation would pick on a miss), mapped to its domain, and
+    /// compared against the group's head position. Exact as long as no
+    /// other access intervenes — which is what a scheduler comparing
+    /// queued candidates wants.
+    pub fn predicted_shift_distance(&self, addr: u64) -> u32 {
+        let set = self.cache.set_of(addr);
+        let way = self
+            .cache
+            .probe(addr)
+            .unwrap_or_else(|| self.cache.victim_way(set));
+        let (group, domain) = self.slot_to_group_domain(set, way);
+        let target = self.geometry.head_position_for(domain) as u8;
+        self.heads[group].abs_diff(target) as u32
+    }
+
+    /// Estimated service latency in cycles for an access to `addr`
+    /// (shift under the bank's current plan costing plus array access),
+    /// using [`RacetrackLlc::predicted_shift_distance`]. Non-mutating.
+    pub fn estimated_latency(&self, addr: u64, kind: AccessKind) -> u64 {
+        let array = match kind {
+            AccessKind::Read => self.design.read_cycles,
+            AccessKind::Write => self.design.write_cycles,
+        };
+        let shift = if self.ideal_shifts {
+            0
+        } else {
+            match self.predicted_shift_distance(addr) {
+                0 => 0,
+                d => {
+                    let group = self.group_of(addr);
+                    let bank = group % self.controllers.len();
+                    self.controllers[bank].cost_sequence(&[d]).latency.count()
+                }
+            }
+        };
+        shift + array
+    }
+
     /// Positions the group's head for `domain`, issuing a shift through
     /// the controller if needed. Returns the shift latency in cycles.
     fn position_head(&mut self, group: usize, domain: usize, now: u64) -> u64 {
@@ -370,24 +437,37 @@ impl RacetrackLlc {
         };
         self.heads[group] = target;
         // Idle management: after servicing, drift the head back to the
-        // centre of its range off the critical path. The steps (and
-        // their risk) are charged through the bank controller, the
-        // latency is not — the next access finds the head pre-centred.
+        // centre of its range off the critical path.
         if self.head_policy == HeadPolicy::ReturnToCentre {
-            let rest = (self.geometry.max_shift() / 2) as u8;
-            if self.heads[group] != rest {
-                let distance = self.heads[group].abs_diff(rest) as u32;
-                let bank = group % self.controllers.len();
-                let plan = self.controllers[bank].plan_shift(distance, now + latency);
-                self.stats_shift_ops += plan.sequence.len() as u64;
-                self.stats_shift_steps += distance as u64;
-                self.idle_steps += distance as u64;
-                rtm_obs::counter_add("llc.idle_steps", distance as u64);
-                self.sample_sequence(&plan.sequence);
-                self.heads[group] = rest;
-            }
+            self.park_group(group, now + latency);
         }
         latency
+    }
+
+    /// Drifts a group's head back to the centre of its range off the
+    /// critical path, so the next access finds it at most half the
+    /// stripe away. The steps (and their error risk) are charged
+    /// through the bank controller, the latency is not — parking is
+    /// meant for idle periods. Shift-aware schedulers call this when a
+    /// group's queue drains; [`HeadPolicy::ReturnToCentre`] calls it
+    /// after every access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group` is out of range.
+    pub fn park_group(&mut self, group: usize, now: u64) {
+        let rest = (self.geometry.max_shift() / 2) as u8;
+        if self.heads[group] != rest {
+            let distance = self.heads[group].abs_diff(rest) as u32;
+            let bank = group % self.controllers.len();
+            let plan = self.controllers[bank].plan_shift(distance, now);
+            self.stats_shift_ops += plan.sequence.len() as u64;
+            self.stats_shift_steps += distance as u64;
+            self.idle_steps += distance as u64;
+            rtm_obs::counter_add("llc.idle_steps", distance as u64);
+            self.sample_sequence(&plan.sequence);
+            self.heads[group] = rest;
+        }
     }
 }
 
@@ -502,6 +582,49 @@ mod tests {
         let stride = llc.cache.sets() * 64;
         llc.access(0x40 + stride, AccessKind::Read, 10);
         assert!(llc.stats().shift_steps > before);
+    }
+
+    #[test]
+    fn predicted_distance_matches_realised_shift() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let stride = llc.cache.sets() * 64;
+        llc.access(0x40, AccessKind::Read, 0);
+        // A hit on the resident line: prediction must see distance 0.
+        assert_eq!(llc.predicted_shift_distance(0x40), 0);
+        // A second line in the same set lands in the predicted victim
+        // way; the predicted distance must equal the steps the access
+        // then actually performs.
+        let addr = 0x40 + stride;
+        let predicted = llc.predicted_shift_distance(addr);
+        let before = llc.stats().shift_steps;
+        llc.access(addr, AccessKind::Read, 10);
+        assert_eq!(llc.stats().shift_steps - before, predicted as u64);
+    }
+
+    #[test]
+    fn estimated_latency_matches_realised_response() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Unconstrained);
+        let stride = llc.cache.sets() * 64;
+        llc.access(0, AccessKind::Read, 0);
+        for i in 1..8u64 {
+            let addr = i * stride;
+            let est = llc.estimated_latency(addr, AccessKind::Read);
+            let r = llc.access(addr, AccessKind::Read, i * 1000);
+            // Unconstrained plans are exactly one sub-shift, so the
+            // cost_sequence estimate is exact.
+            assert_eq!(est, r.latency_cycles, "access {i}");
+        }
+    }
+
+    #[test]
+    fn group_of_depends_only_on_set() {
+        let llc = rm(ProtectionKind::None, ShiftPolicy::Unconstrained);
+        assert_eq!(llc.group_of(0x40), 0);
+        // Sets 0..3 share group 0; set 4 starts group 1.
+        assert_eq!(llc.group_of(3 * 64), 0);
+        assert_eq!(llc.group_of(4 * 64), 1);
+        assert!(llc.groups() > 0);
+        assert_eq!(llc.head_position(0), 0);
     }
 
     #[test]

@@ -72,6 +72,35 @@ pub enum ShiftEvent {
         /// Sub-shifts produced.
         parts: u32,
     },
+    /// A request entered a stripe-group queue in the serving layer.
+    ReqEnqueued {
+        /// Scheduler-assigned request id (monotonic per run).
+        id: u64,
+        /// Stripe group the request targets.
+        group: u32,
+    },
+    /// A queued request was dispatched to its bank for service.
+    ReqDispatched {
+        /// Scheduler-assigned request id.
+        id: u64,
+        /// Stripe group the request targets.
+        group: u32,
+        /// Cycles the request waited in its queue before dispatch.
+        queue_delay: u64,
+    },
+    /// A dispatched request finished (LLC service plus any memory
+    /// fill).
+    ReqCompleted {
+        /// Scheduler-assigned request id.
+        id: u64,
+        /// Cycles between dispatch and completion.
+        service_cycles: u64,
+    },
+    /// Admission stalled because a stripe-group queue was full.
+    ReqBackpressure {
+        /// Stripe group whose queue rejected the request.
+        group: u32,
+    },
 }
 
 impl ShiftEvent {
@@ -83,7 +112,23 @@ impl ShiftEvent {
             ShiftEvent::PeccVerdict { .. } => "PeccVerdict",
             ShiftEvent::BackShift { .. } => "BackShift",
             ShiftEvent::SafeDistanceSplit { .. } => "SafeDistanceSplit",
+            ShiftEvent::ReqEnqueued { .. } => "ReqEnqueued",
+            ShiftEvent::ReqDispatched { .. } => "ReqDispatched",
+            ShiftEvent::ReqCompleted { .. } => "ReqCompleted",
+            ShiftEvent::ReqBackpressure { .. } => "ReqBackpressure",
         }
+    }
+
+    /// Whether this is a serving-layer queue event (as opposed to a
+    /// shift-transaction event).
+    pub fn is_queue_event(&self) -> bool {
+        matches!(
+            self,
+            ShiftEvent::ReqEnqueued { .. }
+                | ShiftEvent::ReqDispatched { .. }
+                | ShiftEvent::ReqCompleted { .. }
+                | ShiftEvent::ReqBackpressure { .. }
+        )
     }
 }
 
@@ -287,6 +332,26 @@ fn event_to_json(e: &TracedEvent) -> Json {
             pairs.push(("cap", Json::Num(cap as f64)));
             pairs.push(("parts", Json::Num(parts as f64)));
         }
+        ShiftEvent::ReqEnqueued { id, group } => {
+            pairs.push(("id", Json::Num(id as f64)));
+            pairs.push(("group", Json::Num(group as f64)));
+        }
+        ShiftEvent::ReqDispatched {
+            id,
+            group,
+            queue_delay,
+        } => {
+            pairs.push(("id", Json::Num(id as f64)));
+            pairs.push(("group", Json::Num(group as f64)));
+            pairs.push(("queue_delay", Json::Num(queue_delay as f64)));
+        }
+        ShiftEvent::ReqCompleted { id, service_cycles } => {
+            pairs.push(("id", Json::Num(id as f64)));
+            pairs.push(("service_cycles", Json::Num(service_cycles as f64)));
+        }
+        ShiftEvent::ReqBackpressure { group } => {
+            pairs.push(("group", Json::Num(group as f64)));
+        }
     }
     Json::obj(pairs)
 }
@@ -320,6 +385,22 @@ fn event_from_json(doc: &Json) -> Option<TracedEvent> {
             distance: u32_field("distance")?,
             cap: u32_field("cap")?,
             parts: u32_field("parts")?,
+        },
+        "ReqEnqueued" => ShiftEvent::ReqEnqueued {
+            id: doc.get("id")?.as_u64()?,
+            group: u32_field("group")?,
+        },
+        "ReqDispatched" => ShiftEvent::ReqDispatched {
+            id: doc.get("id")?.as_u64()?,
+            group: u32_field("group")?,
+            queue_delay: doc.get("queue_delay")?.as_u64()?,
+        },
+        "ReqCompleted" => ShiftEvent::ReqCompleted {
+            id: doc.get("id")?.as_u64()?,
+            service_cycles: doc.get("service_cycles")?.as_u64()?,
+        },
+        "ReqBackpressure" => ShiftEvent::ReqBackpressure {
+            group: u32_field("group")?,
         },
         _ => return None,
     };
@@ -440,11 +521,35 @@ mod tests {
             },
         );
         t.record(7, ShiftEvent::BackShift { steps: 2 });
+        t.record(8, ShiftEvent::ReqEnqueued { id: 42, group: 7 });
+        t.record(
+            9,
+            ShiftEvent::ReqDispatched {
+                id: 42,
+                group: 7,
+                queue_delay: 15,
+            },
+        );
+        t.record(
+            10,
+            ShiftEvent::ReqCompleted {
+                id: 42,
+                service_cycles: 33,
+            },
+        );
+        t.record(11, ShiftEvent::ReqBackpressure { group: 7 });
         let snap = t.snapshot();
         let text = snap.to_json().pretty();
         let parsed = Json::parse(&text).expect("parse");
         let back = EventTraceSnapshot::from_json(&parsed).expect("decode");
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn queue_events_are_distinguished() {
+        assert!(ShiftEvent::ReqEnqueued { id: 0, group: 0 }.is_queue_event());
+        assert!(ShiftEvent::ReqBackpressure { group: 0 }.is_queue_event());
+        assert!(!ShiftEvent::BackShift { steps: 1 }.is_queue_event());
     }
 
     #[test]

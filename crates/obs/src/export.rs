@@ -118,6 +118,10 @@ impl EventTraceSnapshot {
             "k".to_string(),
             "steps".to_string(),
             "cap".to_string(),
+            "id".to_string(),
+            "group".to_string(),
+            "queue_delay".to_string(),
+            "service_cycles".to_string(),
         ]];
         use crate::events::{PeccOutcome, ShiftEvent};
         for e in &self.events {
@@ -126,7 +130,7 @@ impl EventTraceSnapshot {
                 e.cycle.to_string(),
                 e.event.kind().to_string(),
             ];
-            row.resize(11, String::new());
+            row.resize(15, String::new());
             match e.event {
                 ShiftEvent::ShiftPlanned {
                     distance,
@@ -163,6 +167,26 @@ impl EventTraceSnapshot {
                     row[10] = cap.to_string();
                     row[4] = parts.to_string();
                 }
+                ShiftEvent::ReqEnqueued { id, group } => {
+                    row[11] = id.to_string();
+                    row[12] = group.to_string();
+                }
+                ShiftEvent::ReqDispatched {
+                    id,
+                    group,
+                    queue_delay,
+                } => {
+                    row[11] = id.to_string();
+                    row[12] = group.to_string();
+                    row[13] = queue_delay.to_string();
+                }
+                ShiftEvent::ReqCompleted { id, service_cycles } => {
+                    row[11] = id.to_string();
+                    row[14] = service_cycles.to_string();
+                }
+                ShiftEvent::ReqBackpressure { group } => {
+                    row[12] = group.to_string();
+                }
             }
             rows.push(row);
         }
@@ -172,6 +196,63 @@ impl EventTraceSnapshot {
     /// CSV rendering of [`Self::rows`].
     pub fn to_csv(&self) -> String {
         to_csv(&self.rows())
+    }
+
+    /// Rows for the serving-layer queue events only, in a narrow
+    /// schema (header included): enqueue/dispatch/complete/backpressure
+    /// with blanks where a kind has no such field.
+    pub fn queue_rows(&self) -> Vec<Vec<String>> {
+        use crate::events::ShiftEvent;
+        let mut rows = vec![vec![
+            "seq".to_string(),
+            "cycle".to_string(),
+            "kind".to_string(),
+            "id".to_string(),
+            "group".to_string(),
+            "queue_delay".to_string(),
+            "service_cycles".to_string(),
+        ]];
+        for e in &self.events {
+            if !e.event.is_queue_event() {
+                continue;
+            }
+            let mut row = vec![
+                e.seq.to_string(),
+                e.cycle.to_string(),
+                e.event.kind().to_string(),
+            ];
+            row.resize(7, String::new());
+            match e.event {
+                ShiftEvent::ReqEnqueued { id, group } => {
+                    row[3] = id.to_string();
+                    row[4] = group.to_string();
+                }
+                ShiftEvent::ReqDispatched {
+                    id,
+                    group,
+                    queue_delay,
+                } => {
+                    row[3] = id.to_string();
+                    row[4] = group.to_string();
+                    row[5] = queue_delay.to_string();
+                }
+                ShiftEvent::ReqCompleted { id, service_cycles } => {
+                    row[3] = id.to_string();
+                    row[6] = service_cycles.to_string();
+                }
+                ShiftEvent::ReqBackpressure { group } => {
+                    row[4] = group.to_string();
+                }
+                _ => unreachable!("filtered to queue events"),
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// CSV rendering of [`Self::queue_rows`].
+    pub fn queue_csv(&self) -> String {
+        to_csv(&self.queue_rows())
     }
 }
 
@@ -225,6 +306,42 @@ mod tests {
         let csv = t.snapshot().to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
-        assert_eq!(lines[1], "0,3,PeccVerdict,,,,,corrected,2,,");
+        assert_eq!(lines[1], "0,3,PeccVerdict,,,,,corrected,2,,,,,,");
+    }
+
+    #[test]
+    fn queue_csv_filters_to_queue_events() {
+        let t = EventTrace::new();
+        t.set_enabled(true);
+        t.record(1, ShiftEvent::BackShift { steps: 2 });
+        t.record(5, ShiftEvent::ReqEnqueued { id: 9, group: 3 });
+        t.record(
+            8,
+            ShiftEvent::ReqDispatched {
+                id: 9,
+                group: 3,
+                queue_delay: 3,
+            },
+        );
+        t.record(
+            20,
+            ShiftEvent::ReqCompleted {
+                id: 9,
+                service_cycles: 12,
+            },
+        );
+        t.record(21, ShiftEvent::ReqBackpressure { group: 3 });
+        let csv = t.snapshot().queue_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + the four queue events; the BackShift is filtered.
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            "seq,cycle,kind,id,group,queue_delay,service_cycles"
+        );
+        assert_eq!(lines[1], "1,5,ReqEnqueued,9,3,,");
+        assert_eq!(lines[2], "2,8,ReqDispatched,9,3,3,");
+        assert_eq!(lines[3], "3,20,ReqCompleted,9,,,12");
+        assert_eq!(lines[4], "4,21,ReqBackpressure,,3,,");
     }
 }

@@ -23,8 +23,10 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod mixed;
 pub mod profile;
 pub mod replay;
 
 pub use generator::{MemAccess, TraceGenerator};
+pub use mixed::MixedTraceGenerator;
 pub use profile::WorkloadProfile;

@@ -17,6 +17,7 @@ pub use rtm_model as model;
 pub use rtm_obs as obs;
 pub use rtm_pecc as pecc;
 pub use rtm_reliability as reliability;
+pub use rtm_serve as serve;
 pub use rtm_trace as trace;
 pub use rtm_track as track;
 pub use rtm_util as util;
