@@ -258,7 +258,7 @@ fn main() {
             ])
         })
         .collect();
-    let detail = Json::obj(vec![
+    let mut detail = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-engine/v1".to_string())),
         ("quick", Json::Bool(quick)),
         ("threads", Json::Num(threads as f64)),
@@ -268,10 +268,12 @@ fn main() {
         ("all_within_tolerance", Json::Bool(all_within)),
         ("benches", Json::Arr(rows.clone())),
     ]);
-    let flat = Json::obj(vec![
+    rtm_bench::stamp::stamp(&mut detail);
+    let mut flat = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-model/v1".to_string())),
         ("rows", Json::Arr(rows)),
     ]);
+    rtm_bench::stamp::stamp(&mut flat);
     for (path, doc) in [(&out, &detail), (&model_out, &flat)] {
         if let Err(e) = rtm_obs::export::write_json(path, doc) {
             eprintln!("error: cannot write {}: {e}", path.display());

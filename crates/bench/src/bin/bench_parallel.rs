@@ -123,7 +123,7 @@ fn main() {
         timed(|| SimSweep::run_variants_with_threads(&settings, &RtVariant::ALL, threads));
     record("fig14_sweep", t1, tn, base.by_variant == alt.by_variant);
 
-    let doc = Json::obj(vec![
+    let mut doc = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-parallel/v1".to_string())),
         ("threads", Json::Num(threads as f64)),
         ("quick", Json::Bool(quick)),
@@ -131,6 +131,7 @@ fn main() {
         ("sweep_accesses", Json::Num(settings.accesses as f64)),
         ("benches", Json::Arr(benches)),
     ]);
+    rtm_bench::stamp::stamp(&mut doc);
     if let Err(e) = rtm_obs::export::write_json(&out, &doc) {
         eprintln!("error: cannot write {}: {e}", out.display());
         std::process::exit(2);

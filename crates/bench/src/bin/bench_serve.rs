@@ -192,7 +192,7 @@ fn main() {
             ])
         })
         .collect();
-    let doc = Json::obj(vec![
+    let mut doc = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-serve/v1".to_string())),
         ("threads", Json::Num(threads as f64)),
         ("quick", Json::Bool(quick)),
@@ -200,6 +200,7 @@ fn main() {
         ("tenants", Json::Num(TENANTS as f64)),
         ("rows", Json::Arr(rows)),
     ]);
+    rtm_bench::stamp::stamp(&mut doc);
     if let Err(e) = rtm_obs::export::write_json(&out, &doc) {
         eprintln!("error: cannot write {}: {e}", out.display());
         std::process::exit(2);

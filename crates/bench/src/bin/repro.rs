@@ -9,15 +9,21 @@
 //! ```
 //!
 //! `--metrics` / `--events` switch on the rtm-obs registry and shift
-//! transaction trace and dump their snapshots as JSON on exit;
-//! `--progress` prints heartbeat lines for long sweeps; `--accesses`
-//! overrides the per-cell trace length; `--threads N` sets the worker
-//! count for the Monte-Carlo and sweep fan-out (default: all cores;
-//! output is bit-identical for any value); `--engine mc|analytic`
-//! selects the position-error engine for fig4/ablation PDFs and the
-//! fig14 sampling path (default: analytic closed form); `--policy
-//! fcfs|fr-fcfs|shift-aware` narrows the `serve` experiment's report
-//! to one scheduling policy (FCFS rows stay as the baseline).
+//! transaction trace and dump their snapshots as JSON on exit (the
+//! events dump carries the cycle-stamped span forest under a `"spans"`
+//! key, and any ring-buffer drops are reported on stderr); `--labels
+//! <path>` switches on the labeled registry and dumps its snapshot;
+//! `--attribution` appends exact cycle-attribution tables to the
+//! `serve` and `fig14` reports (and writes them as CSV + JSON when
+//! `--csv` is given); `--progress` prints heartbeat lines for long
+//! sweeps; `--accesses` overrides the per-cell trace length;
+//! `--threads N` sets the worker count for the Monte-Carlo and sweep
+//! fan-out (default: all cores; output is bit-identical for any
+//! value); `--engine mc|analytic` selects the position-error engine
+//! for fig4/ablation PDFs and the fig14 sampling path (default:
+//! analytic closed form); `--policy fcfs|fr-fcfs|shift-aware` narrows
+//! the `serve` experiment's report to one scheduling policy (FCFS rows
+//! stay as the baseline).
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
@@ -34,6 +40,8 @@ struct Options {
     csv_dir: Option<std::path::PathBuf>,
     metrics: Option<std::path::PathBuf>,
     events: Option<std::path::PathBuf>,
+    labels: Option<std::path::PathBuf>,
+    attribution: bool,
     progress: bool,
     accesses: Option<u64>,
     engine: Engine,
@@ -46,6 +54,8 @@ fn parse_args() -> Result<Options, String> {
     let mut csv_dir = None;
     let mut metrics = None;
     let mut events = None;
+    let mut labels = None;
+    let mut attribution = false;
     let mut progress = false;
     let mut accesses = None;
     let mut engine = Engine::default();
@@ -75,6 +85,11 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--events needs a file path")?;
                 events = Some(std::path::PathBuf::from(v));
             }
+            "--labels" => {
+                let v = args.next().ok_or("--labels needs a file path")?;
+                labels = Some(std::path::PathBuf::from(v));
+            }
+            "--attribution" => attribution = true,
             "--progress" => progress = true,
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a count")?;
@@ -128,6 +143,8 @@ fn parse_args() -> Result<Options, String> {
         csv_dir,
         metrics,
         events,
+        labels,
+        attribution,
         progress,
         accesses,
         engine,
@@ -147,7 +164,12 @@ fn main() {
         rtm_obs::global().registry().set_enabled(true);
     }
     if opts.events.is_some() {
+        // Spans ride along in the events dump under a "spans" key.
         rtm_obs::global().trace().set_enabled(true);
+        rtm_obs::global().spans().set_enabled(true);
+    }
+    if opts.labels.is_some() {
+        rtm_obs::global().labeled().set_enabled(true);
     }
     if opts.progress {
         rtm_obs::set_progress(true);
@@ -213,6 +235,9 @@ fn main() {
         // as the comparison baseline); the sweep itself always runs the
         // full matrix so the summary has its reference points.
         let mut sweep = serving::ServeSweep::run(&s);
+        // Labeled metrics cover the full matrix even when `--policy`
+        // narrows the printed report.
+        serving::record_serving_labels(&sweep);
         if let Some(p) = opts.policy {
             sweep
                 .cells
@@ -256,6 +281,31 @@ fn main() {
         if let Some(sweep) = &serve_sweep {
             write("serve", serving::serving_csv(sweep));
         }
+        if opts.attribution {
+            let dump = |name: &str, table: &rtm_obs::attrib::AttributionTable| {
+                let path = dir.join(format!("{name}.csv"));
+                if let Err(e) = std::fs::write(&path, table.to_csv()) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+                let path = dir.join(format!("{name}.json"));
+                if let Err(e) = rtm_obs::export::write_json(&path, &table.to_json()) {
+                    eprintln!("error: cannot write {}: {e}", path.display());
+                } else {
+                    eprintln!("wrote {}", path.display());
+                }
+            };
+            if let Some(sweep) = &variant_sweep {
+                dump(
+                    "fig14_attribution",
+                    &performance::figure14_attribution(sweep, &settings),
+                );
+            }
+            if let Some(sweep) = &serve_sweep {
+                dump("serve_attribution", &serving::serving_attribution(sweep));
+            }
+        }
     }
 
     let mut shown = 0;
@@ -290,7 +340,15 @@ fn main() {
         design::render_figure13(&design::figure13_experiment())
     });
     section("fig14", &|| {
-        performance::figure14_from(variant_sweep.as_ref().expect("sweep ran"), &settings).render()
+        let sweep = variant_sweep.as_ref().expect("sweep ran");
+        let mut out = performance::figure14_from(sweep, &settings).render();
+        if opts.attribution {
+            out.push('\n');
+            out.push_str(&performance::render_figure14_attribution(
+                &performance::figure14_attribution(sweep, &settings),
+            ));
+        }
+        out
     });
     section("fig15", &|| {
         performance::render_figure15(&performance::figure15_experiment(200))
@@ -323,7 +381,15 @@ fn main() {
         ablation::render_ablations_with_engine(mc_trials / 4, 2015, 5.12e9, opts.engine)
     });
     section("serve", &|| {
-        serving::render_serving(serve_sweep.as_ref().expect("sweep ran"))
+        let sweep = serve_sweep.as_ref().expect("sweep ran");
+        let mut out = serving::render_serving(sweep);
+        if opts.attribution {
+            out.push('\n');
+            out.push_str(&serving::render_serving_attribution(
+                &serving::serving_attribution(sweep),
+            ));
+        }
+        out
     });
 
     // Machine-readable run artefacts: metrics registry and shift
@@ -340,7 +406,26 @@ fn main() {
         write_json(path, &rtm_obs::global().registry().snapshot().to_json());
     }
     if let Some(path) = &opts.events {
-        write_json(path, &rtm_obs::global().trace().snapshot().to_json());
+        let events = rtm_obs::global().trace().snapshot();
+        let spans = rtm_obs::global().spans().snapshot();
+        eprintln!(
+            "events: {} recorded, {} dropped; spans: {} recorded, {} dropped",
+            events.events.len(),
+            events.dropped,
+            spans.spans.len(),
+            spans.dropped
+        );
+        if events.dropped > 0 || spans.dropped > 0 {
+            eprintln!("  (ring capacity exceeded; oldest entries evicted first)");
+        }
+        let mut doc = events.to_json();
+        if let rtm_obs::json::Json::Obj(pairs) = &mut doc {
+            pairs.push(("spans".to_string(), spans.to_json()));
+        }
+        write_json(path, &doc);
+    }
+    if let Some(path) = &opts.labels {
+        write_json(path, &rtm_obs::global().labeled().snapshot().to_json());
     }
 
     if shown == 0 {

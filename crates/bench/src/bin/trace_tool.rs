@@ -12,7 +12,8 @@
 //!
 //! The leading `--metrics` / `--events` / `--progress` flags switch on
 //! rtm-obs recording for any subcommand and dump JSON snapshots on
-//! exit. `--queue-events <f.csv>` additionally dumps the serving
+//! exit (the events dump carries the span forest under a `"spans"` key
+//! and reports ring-buffer drop counts on stderr). `--queue-events <f.csv>` additionally dumps the serving
 //! layer's queue events (enqueue/dispatch/complete/backpressure) as
 //! CSV — pair it with the `serve` subcommand, which is what generates
 //! them.
@@ -85,6 +86,10 @@ fn main() {
     }
     if events.is_some() || queue_events.is_some() {
         rtm_obs::global().trace().set_enabled(true);
+    }
+    if events.is_some() {
+        // Spans ride along in the events dump under a "spans" key.
+        rtm_obs::global().spans().set_enabled(true);
     }
     match args.first().map(String::as_str) {
         Some("record") if args.len() >= 4 => {
@@ -205,6 +210,9 @@ fn main() {
             println!("zero-shift:    {}", r.zero_shift_dispatches);
             println!("backpressure:  {}", r.backpressure_stalls);
             println!("shift cycles:  {}", r.llc.shift_cycles);
+            println!();
+            println!("per-tenant cycle attribution (components sum to total exactly):");
+            print!("{}", rtm_core::experiments::render_table(&r.tenants.rows()));
         }
         _ => usage(),
     }
@@ -219,7 +227,20 @@ fn main() {
         write_json(path, &rtm_obs::global().registry().snapshot().to_json());
     }
     if let Some(path) = &events {
-        write_json(path, &rtm_obs::global().trace().snapshot().to_json());
+        let ev = rtm_obs::global().trace().snapshot();
+        let spans = rtm_obs::global().spans().snapshot();
+        eprintln!(
+            "events: {} recorded, {} dropped; spans: {} recorded, {} dropped",
+            ev.events.len(),
+            ev.dropped,
+            spans.spans.len(),
+            spans.dropped
+        );
+        let mut doc = ev.to_json();
+        if let rtm_obs::json::Json::Obj(pairs) = &mut doc {
+            pairs.push(("spans".to_string(), spans.to_json()));
+        }
+        write_json(path, &doc);
     }
     if let Some(path) = &queue_events {
         let csv = rtm_obs::global().trace().snapshot().queue_csv();

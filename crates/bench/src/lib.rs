@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod stamp;
 pub mod timing;
 
 /// The experiment identifiers the `repro` binary accepts.

@@ -1,0 +1,73 @@
+//! Provenance stamping for `BENCH_*.json` artefacts.
+//!
+//! Every benchmark document carries a `schema_version` and the
+//! `git_commit` it was produced from, so `obs-tool compare` can refuse
+//! to diff artefacts whose shapes diverged and regression reports can
+//! name the exact revisions under comparison.
+
+use rtm_obs::json::Json;
+
+/// Version of the shared `BENCH_*.json` envelope (the stamped
+/// `schema_version` / `git_commit` fields plus per-binary `schema`
+/// strings). Bump when a field changes meaning or type; `obs-tool
+/// compare` refuses documents whose versions differ.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The git commit to stamp into benchmark artefacts.
+///
+/// `RTM_BENCH_GIT_COMMIT` overrides (for CI and hermetic builds),
+/// otherwise `git rev-parse HEAD` is consulted; `"unknown"` when
+/// neither source is available.
+pub fn git_commit() -> String {
+    if let Ok(v) = std::env::var("RTM_BENCH_GIT_COMMIT") {
+        let v = v.trim().to_string();
+        if !v.is_empty() {
+            return v;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Appends the provenance stamp (`schema_version`, `git_commit`) to a
+/// benchmark document. No-op on non-objects.
+pub fn stamp(doc: &mut Json) {
+    if let Json::Obj(pairs) = doc {
+        pairs.push((
+            "schema_version".to_string(),
+            Json::Num(BENCH_SCHEMA_VERSION as f64),
+        ));
+        pairs.push(("git_commit".to_string(), Json::Str(git_commit())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_appends_version_and_commit() {
+        let mut doc = Json::obj(vec![("schema", Json::Str("x/v1".into()))]);
+        stamp(&mut doc);
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_u64),
+            Some(BENCH_SCHEMA_VERSION)
+        );
+        let commit = doc.get("git_commit").unwrap();
+        assert!(matches!(commit, Json::Str(s) if !s.is_empty()));
+    }
+
+    #[test]
+    fn stamp_ignores_non_objects() {
+        let mut doc = Json::Arr(vec![]);
+        stamp(&mut doc);
+        assert_eq!(doc, Json::Arr(vec![]));
+    }
+}

@@ -235,6 +235,30 @@ impl ShiftController {
                 &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 16.0, 32.0, 64.0],
             );
         }
+        let protected = plan.checks > 0;
+        let spans = obs.spans();
+        if spans.enabled() {
+            // The whole transaction nests under whatever span the
+            // caller entered (a serving-layer dispatch, or nothing for
+            // standalone runs), then unfolds into its pulse/check
+            // sequence using the same walk the event trace performs.
+            let plan_span = spans.record(
+                rtm_obs::span::current_parent(),
+                "plan_shift",
+                now_cycles,
+                now_cycles + plan.latency.count(),
+            );
+            let mut t = now_cycles;
+            for &d in &plan.sequence {
+                let cycles = self.timing.shift_cycles(d).count();
+                spans.record(plan_span, "sts_pulse", t, t + cycles);
+                t += cycles;
+                if protected {
+                    spans.record(plan_span, "pecc_verify", t, t + PECC_CHECK_CYCLES);
+                    t += PECC_CHECK_CYCLES;
+                }
+            }
+        }
         let trace = obs.trace();
         if trace.enabled() {
             let parts = plan.sequence.len() as u32;
@@ -261,7 +285,6 @@ impl ShiftController {
             // every planned check lands clean here; sampled
             // corrected/uncorrectable verdicts come from the
             // bit-accurate injection layer.
-            let protected = plan.checks > 0;
             let mut t = now_cycles;
             for &d in &plan.sequence {
                 let cycles = self.timing.shift_cycles(d).count();
@@ -536,5 +559,39 @@ mod tests {
     fn zero_distance_rejected() {
         let mut ctl = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
         let _ = ctl.plan_shift(0, 0);
+    }
+
+    #[test]
+    fn plan_spans_tile_the_transaction_exactly() {
+        // The span trace is process-global; this is the only test in
+        // the crate that enables it, and it scopes its assertions to
+        // the one plan_shift span it creates.
+        let spans = rtm_obs::global().spans();
+        spans.reset();
+        spans.set_enabled(true);
+        let mut ctl = ShiftController::new(ProtectionKind::SECDED_O, ShiftPolicy::StepByStep);
+        let plan = ctl.plan_shift(5, 1_000);
+        spans.set_enabled(false);
+        let snap = spans.snapshot();
+        let plan_span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "plan_shift")
+            .expect("plan_shift span recorded");
+        assert_eq!(plan_span.start_cycle, 1_000);
+        assert_eq!(plan_span.duration(), plan.latency.count());
+        // Children tile the parent exactly: 5 pulses + 5 checks.
+        let children = snap.children_of(plan_span.id);
+        assert_eq!(children.len(), 10);
+        let child_sum: u64 = children.iter().map(|c| c.duration()).sum();
+        assert_eq!(child_sum, plan.latency.count());
+        assert_eq!(snap.self_cycles(plan_span), 0);
+        let verify_sum: u64 = children
+            .iter()
+            .filter(|c| c.name == "pecc_verify")
+            .map(|c| c.duration())
+            .sum();
+        assert_eq!(verify_sum, plan.checks as u64 * PECC_CHECK_CYCLES);
+        spans.reset();
     }
 }

@@ -7,6 +7,7 @@ use rtm_controller::safety::SafetyBudget;
 use rtm_mem::hierarchy::LlcChoice;
 use rtm_model::rates::OutOfStepRates;
 use rtm_model::sts::StsTiming;
+use rtm_obs::attrib::AttributionTable;
 use rtm_pecc::layout::ProtectionKind;
 use std::collections::BTreeMap;
 
@@ -259,6 +260,49 @@ pub fn figure16_from(sweep: &SimSweep, settings: &SweepSettings) -> NormalisedFi
     }
 }
 
+/// Component names of the Fig. 14 cycle-attribution table.
+///
+/// Per (workload, variant) cell the execution cycles decompose exactly
+/// into raw STS pulse time (`sts_shift`), the in-line p-ECC check
+/// cycles folded into every protected sub-shift (`pecc_verify`),
+/// explicit back-shifts (`back_shift`, always 0 here: the statistical
+/// controller folds correction cost into the plan latency), and
+/// everything the core pipeline does outside LLC shifting
+/// (`core_other` — compute, cache hits, DRAM).
+pub const FIG14_COMPONENTS: [&str; 4] = ["sts_shift", "pecc_verify", "back_shift", "core_other"];
+
+/// Cycle attribution per (workload, variant) for the Fig. 14 sweep:
+/// every execution cycle lands in exactly one [`FIG14_COMPONENTS`]
+/// bucket, so each row's components sum to its `cycles` total exactly.
+pub fn figure14_attribution(sweep: &SimSweep, settings: &SweepSettings) -> AttributionTable {
+    let mut table = AttributionTable::new(["workload", "scheme"], FIG14_COMPONENTS);
+    for p in settings.profiles() {
+        let per = &sweep.by_variant[p.name];
+        for v in fig14_variants() {
+            let Some(r) = per.get(v.label()) else {
+                continue;
+            };
+            let sts = r.llc.shift_cycles - r.llc.verify_cycles;
+            table.push(
+                [p.name.to_string(), v.label().to_string()],
+                [sts, r.llc.verify_cycles, 0, r.cycles - r.llc.shift_cycles],
+                r.cycles,
+            );
+        }
+    }
+    table
+}
+
+/// Renders the Fig. 14 attribution table as a text report.
+pub fn render_figure14_attribution(table: &AttributionTable) -> String {
+    let mut out = String::from(
+        "Figure 14 cycle attribution per (workload, scheme); components\n\
+         partition the execution cycles exactly:\n\n",
+    );
+    out.push_str(&render_table(&table.rows()));
+    out
+}
+
 /// Headline overhead summary (abstract anchor: ~0.2 % for adaptive):
 /// execution-time overhead of each protected design over the
 /// unprotected racetrack memory.
@@ -327,6 +371,35 @@ mod tests {
             swaptions.1[idx_ideal]
         );
         assert!((swaptions.1[idx_ideal] - 1.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn figure14_attribution_partitions_execution_cycles() {
+        let s = quick();
+        let sweep = SimSweep::run_variants(&s, &fig14_variants());
+        let table = figure14_attribution(&sweep, &s);
+        assert_eq!(
+            table.cells.len(),
+            s.profiles().len() * fig14_variants().len()
+        );
+        assert_eq!(table.max_residual(), 0);
+        for cell in &table.cells {
+            let verify = table.component(cell, "pecc_verify").unwrap();
+            let sts = table.component(cell, "sts_shift").unwrap();
+            if cell.keys[1] == "Baseline" {
+                assert_eq!(verify, 0, "{:?}", cell.keys);
+            } else {
+                assert!(verify > 0, "{:?}", cell.keys);
+            }
+            assert!(sts > 0, "{:?}", cell.keys);
+            // Shifting never dominates the whole pipeline.
+            assert!(
+                table.component(cell, "core_other").unwrap() > 0,
+                "{:?}",
+                cell.keys
+            );
+        }
+        assert!(render_figure14_attribution(&table).contains("core_other"));
     }
 
     #[test]

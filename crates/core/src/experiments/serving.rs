@@ -17,8 +17,9 @@
 
 use super::render_table;
 use rtm_controller::controller::ShiftPolicy;
+use rtm_obs::attrib::AttributionTable;
 use rtm_pecc::layout::ProtectionKind;
-use rtm_serve::{SchedPolicy, ServeConfig, ServeResult, ServeSim};
+use rtm_serve::{SchedPolicy, ServeConfig, ServeResult, ServeSim, ATTRIBUTION_COMPONENTS};
 use rtm_trace::{MixedTraceGenerator, WorkloadProfile};
 
 /// Tenants in every cell's workload mix (set-aliased copies of the
@@ -252,6 +253,86 @@ pub fn render_serving(sweep: &ServeSweep) -> String {
     out
 }
 
+/// Per-cell cycle attribution for the whole sweep, in grid order:
+/// every dispatched cycle of every cell lands in exactly one of the
+/// [`ATTRIBUTION_COMPONENTS`] buckets, so each row's components sum to
+/// its total exactly (the serve decomposition is exact, not modelled).
+pub fn serving_attribution(sweep: &ServeSweep) -> AttributionTable {
+    let mut table = AttributionTable::new(["workload", "scheme", "policy"], ATTRIBUTION_COMPONENTS);
+    for c in &sweep.cells {
+        table.push(
+            [
+                c.workload.to_string(),
+                c.scheme.to_string(),
+                c.policy.to_string(),
+            ],
+            c.result.attribution_components(),
+            c.result.attributed_total(),
+        );
+    }
+    table
+}
+
+/// Renders the attribution table as a text report.
+pub fn render_serving_attribution(table: &AttributionTable) -> String {
+    let mut out = String::from(
+        "Cycle attribution per (workload, scheme, policy); components\n\
+         partition the dispatched cycles exactly:\n\n",
+    );
+    out.push_str(&render_table(&table.rows()));
+    out
+}
+
+/// Publishes one labeled sample set per cell into the process-wide
+/// [`rtm_obs`] labeled registry (no-op unless labels are enabled).
+/// Called after the sweep so the emission order is the deterministic
+/// grid order regardless of `--threads`.
+pub fn record_serving_labels(sweep: &ServeSweep) {
+    let labels = rtm_obs::global().labeled();
+    if !labels.enabled() {
+        return;
+    }
+    for c in &sweep.cells {
+        let policy = c.policy.to_string();
+        let cell = [
+            ("workload", c.workload),
+            ("scheme", c.scheme),
+            ("policy", policy.as_str()),
+        ];
+        let r = &c.result;
+        labels.counter_add_with("serve.requests", &cell, r.requests);
+        labels.counter_add_with("serve.cycles", &cell, r.cycles);
+        labels.counter_add_with("serve.shift_cycles", &cell, r.llc.shift_cycles);
+        labels.counter_add_with("serve.verify_cycles", &cell, r.llc.verify_cycles);
+        labels.gauge_set_with(
+            "serve.throughput_req_per_kcycle",
+            &cell,
+            r.throughput_req_per_kcycle(),
+        );
+        labels.observe_labeled("serve.total_p99", &cell, r.total.p99 as f64);
+        for tcell in &r.tenants.cells {
+            let tenant = tcell.keys[0].as_str();
+            let who = [
+                ("workload", c.workload),
+                ("scheme", c.scheme),
+                ("policy", policy.as_str()),
+                ("tenant", tenant),
+            ];
+            labels.counter_add_with("serve.tenant_cycles", &who, tcell.total);
+        }
+        for (bank, &busy) in r.bank_busy_cycles.iter().enumerate() {
+            let bank = bank.to_string();
+            let who = [
+                ("workload", c.workload),
+                ("scheme", c.scheme),
+                ("policy", policy.as_str()),
+                ("bank", bank.as_str()),
+            ];
+            labels.counter_add_with("serve.bank_busy_cycles", &who, busy);
+        }
+    }
+}
+
 /// Machine-readable CSV of the sweep (same columns as the table).
 pub fn serving_csv(sweep: &ServeSweep) -> String {
     let mut rows = vec![vec![
@@ -367,5 +448,69 @@ mod tests {
         assert!(text.contains("shift-aware"));
         let csv = serving_csv(&sweep);
         assert_eq!(csv.lines().count(), 1 + sweep.cells.len());
+    }
+
+    #[test]
+    fn attribution_rows_sum_exactly_per_cell() {
+        let sweep = ServeSweep::run(&tiny());
+        let table = serving_attribution(&sweep);
+        assert_eq!(table.cells.len(), sweep.cells.len());
+        assert_eq!(table.max_residual(), 0);
+        // Protected schemes verify; the unprotected one never does.
+        for (cell, row) in sweep.cells.iter().zip(&table.cells) {
+            let verify = table.component(row, "pecc_verify").unwrap();
+            if cell.scheme == "unprotected" {
+                assert_eq!(verify, 0, "{}", cell.workload);
+            } else {
+                assert!(verify > 0, "{} {}", cell.workload, cell.scheme);
+            }
+        }
+        let text = render_serving_attribution(&table);
+        assert!(text.contains("pecc_verify"));
+        let csv = table.to_csv();
+        assert_eq!(csv.lines().count(), 1 + table.cells.len());
+    }
+
+    #[test]
+    fn attribution_is_thread_count_invariant() {
+        let mut s = tiny();
+        s.workloads = Some(vec!["streamcluster"]);
+        let one = serving_attribution(&ServeSweep::run_with_threads(&s, 1));
+        let eight = serving_attribution(&ServeSweep::run_with_threads(&s, 8));
+        assert_eq!(one, eight);
+        assert_eq!(one.to_csv(), eight.to_csv());
+    }
+
+    #[test]
+    fn labeled_emission_covers_the_grid_when_enabled() {
+        let mut s = tiny();
+        s.workloads = Some(vec!["canneal"]);
+        let sweep = ServeSweep::run(&s);
+        let labels = rtm_obs::global().labeled();
+        labels.reset();
+        labels.set_enabled(true);
+        record_serving_labels(&sweep);
+        let snap = labels.snapshot();
+        labels.set_enabled(false);
+        labels.reset();
+        assert_eq!(snap.series("serve.requests").len(), sweep.cells.len());
+        let probe = sweep.cells[0].policy.to_string();
+        assert_eq!(
+            snap.counter(
+                "serve.requests",
+                // Snapshot lookups take the pairs in sorted key order.
+                &[
+                    ("policy", probe.as_str()),
+                    ("scheme", sweep.cells[0].scheme),
+                    ("workload", "canneal"),
+                ],
+            ),
+            Some(3_000)
+        );
+        // Tenant rows exist for each of the four tenants per cell.
+        assert_eq!(
+            snap.series("serve.tenant_cycles").len(),
+            sweep.cells.len() * TENANTS
+        );
     }
 }

@@ -22,8 +22,13 @@ pub struct LlcStats {
     pub shift_ops: u64,
     /// Total shift steps (racetrack only).
     pub shift_steps: u64,
-    /// Cycles spent shifting.
+    /// Cycles spent shifting (STS pulses plus the p-ECC checks on the
+    /// critical path — [`Self::verify_cycles`] is the check portion).
     pub shift_cycles: u64,
+    /// Critical-path cycles spent in p-ECC position checks (a subset
+    /// of [`Self::shift_cycles`]). Off-critical-path parking shifts
+    /// contribute neither here nor to `shift_cycles`.
+    pub verify_cycles: u64,
     /// Accesses that required no shift (head already aligned).
     pub zero_shift_accesses: u64,
     /// Expected detected-uncorrectable position errors (probability
@@ -53,6 +58,7 @@ impl LlcStats {
         reg.counter_add("llc.shift_ops", self.shift_ops);
         reg.counter_add("llc.shift_steps", self.shift_steps);
         reg.counter_add("llc.shift_cycles", self.shift_cycles);
+        reg.counter_add("llc.verify_cycles", self.verify_cycles);
         reg.counter_add("llc.zero_shift_accesses", self.zero_shift_accesses);
         reg.gauge_set("llc.expected_dues", self.expected_dues);
         reg.gauge_set("llc.expected_sdcs", self.expected_sdcs);
@@ -191,6 +197,7 @@ pub struct RacetrackLlc {
     stats_shift_ops: u64,
     stats_shift_steps: u64,
     stats_shift_cycles: u64,
+    stats_verify_cycles: u64,
     zero_shift: u64,
     /// Whether the controller models an idealised zero-latency shift
     /// (the paper's "RM-Ideal" series in Fig. 16).
@@ -250,6 +257,7 @@ impl RacetrackLlc {
             stats_shift_ops: 0,
             stats_shift_steps: 0,
             stats_shift_cycles: 0,
+            stats_verify_cycles: 0,
             zero_shift: 0,
             ideal_shifts: false,
             head_policy: HeadPolicy::Stay,
@@ -432,6 +440,10 @@ impl RacetrackLlc {
                 plan.latency.count()
             };
             self.stats_shift_cycles += latency;
+            if !self.ideal_shifts {
+                self.stats_verify_cycles +=
+                    plan.checks as u64 * rtm_controller::sequence::PECC_CHECK_CYCLES;
+            }
             self.sample_sequence(&plan.sequence);
             latency
         };
@@ -513,6 +525,7 @@ impl LlcModel for RacetrackLlc {
             shift_ops: self.stats_shift_ops,
             shift_steps: self.stats_shift_steps,
             shift_cycles: self.stats_shift_cycles,
+            verify_cycles: self.stats_verify_cycles,
             zero_shift_accesses: self.zero_shift,
             // Each commanded sequence runs on every stripe of the group;
             // any stripe failing fails the group.
@@ -639,6 +652,33 @@ mod tests {
         // Risk is per stripe × 512.
         let c = llc.controller().stats();
         assert!((s.expected_dues / c.expected_dues - 512.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn verify_cycles_are_the_check_portion_of_shift_cycles() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let stride = llc.cache.sets() * 64;
+        let mut t = 0u64;
+        for i in 0..200u64 {
+            t += 500;
+            llc.access((i % 16) * stride, AccessKind::Read, t);
+        }
+        let s = llc.stats();
+        assert!(s.verify_cycles > 0);
+        assert!(s.verify_cycles < s.shift_cycles);
+        // Without parking, every controller check is on the critical
+        // path, so the subset is exactly checks × the check latency.
+        let c = llc.controller_totals();
+        assert_eq!(
+            s.verify_cycles,
+            c.checks * rtm_controller::sequence::PECC_CHECK_CYCLES
+        );
+        // Unprotected memory performs no checks at all.
+        let mut bare = rm(ProtectionKind::None, ShiftPolicy::Unconstrained);
+        bare.access(0, AccessKind::Read, 0);
+        bare.access(stride, AccessKind::Read, 10);
+        assert_eq!(bare.stats().verify_cycles, 0);
+        assert!(bare.stats().shift_cycles > 0);
     }
 
     #[test]

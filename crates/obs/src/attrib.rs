@@ -1,0 +1,255 @@
+//! Cycle-attribution tables: where did a run's cycles actually go?
+//!
+//! An [`AttributionTable`] is a grid of cells, each identified by a
+//! tuple of key values (workload, scheme, policy, tenant, ...) and
+//! carrying a fixed set of cycle components (queue delay, STS shift,
+//! p-ECC verify, back-shift, array access, memory fill, ...) plus the
+//! cell's independently measured total. The defining invariant —
+//! checked by [`AttributionTable::max_residual`] and gated in CI — is
+//! that the components sum to the total within one cycle: attribution
+//! is an exact decomposition, not a sampling estimate.
+//!
+//! The type is schema-flexible (key and component names are data, not
+//! fields) so the serving sweep, the fig14 hierarchy sweep and future
+//! per-tenant reports all share one JSON/CSV format and one renderer.
+
+use crate::export::to_csv;
+use crate::json::Json;
+
+/// One attributed cell: key values plus its cycle decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributionCell {
+    /// Key values, aligned with the table's `key_names`.
+    pub keys: Vec<String>,
+    /// Component cycle counts, aligned with the table's `components`.
+    pub cycles: Vec<u64>,
+    /// The cell's independently measured total cycles.
+    pub total: u64,
+}
+
+impl AttributionCell {
+    /// Sum of the component cycles.
+    pub fn components_sum(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// `components_sum - total` (0 when the decomposition is exact).
+    pub fn residual(&self) -> i64 {
+        self.components_sum() as i64 - self.total as i64
+    }
+}
+
+/// A named attribution grid.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AttributionTable {
+    /// What the key columns mean (e.g. `["workload", "scheme",
+    /// "policy"]`).
+    pub key_names: Vec<String>,
+    /// What the cycle columns mean (e.g. `["queue_delay", "sts_shift",
+    /// "pecc_verify", ...]`).
+    pub components: Vec<String>,
+    /// The cells, in the sweep's grid order.
+    pub cells: Vec<AttributionCell>,
+}
+
+impl AttributionTable {
+    /// Creates an empty table with the given column schema.
+    pub fn new(
+        key_names: impl IntoIterator<Item = impl Into<String>>,
+        components: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Self {
+        Self {
+            key_names: key_names.into_iter().map(Into::into).collect(),
+            components: components.into_iter().map(Into::into).collect(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the key or component counts do not match the schema —
+    /// a malformed table would silently misalign every export.
+    pub fn push(
+        &mut self,
+        keys: impl IntoIterator<Item = impl Into<String>>,
+        cycles: impl IntoIterator<Item = u64>,
+        total: u64,
+    ) {
+        let cell = AttributionCell {
+            keys: keys.into_iter().map(Into::into).collect(),
+            cycles: cycles.into_iter().collect(),
+            total,
+        };
+        assert_eq!(cell.keys.len(), self.key_names.len(), "key arity");
+        assert_eq!(cell.cycles.len(), self.components.len(), "component arity");
+        self.cells.push(cell);
+    }
+
+    /// Looks a cell up by exact key values.
+    pub fn cell(&self, keys: &[&str]) -> Option<&AttributionCell> {
+        self.cells
+            .iter()
+            .find(|c| c.keys.len() == keys.len() && c.keys.iter().zip(keys).all(|(a, b)| a == b))
+    }
+
+    /// A cell's cycles for one named component.
+    pub fn component(&self, cell: &AttributionCell, name: &str) -> Option<u64> {
+        let i = self.components.iter().position(|c| c == name)?;
+        cell.cycles.get(i).copied()
+    }
+
+    /// Largest `|components_sum - total|` over all cells (0 for an
+    /// empty table). The acceptance gate is `max_residual() <= 1`.
+    pub fn max_residual(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|c| c.residual().unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Header + data rows (strings), for text rendering and CSV: the
+    /// key columns, each component, the component sum, and the total.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut header: Vec<String> = self.key_names.clone();
+        header.extend(self.components.iter().cloned());
+        header.push("components_sum".to_string());
+        header.push("total".to_string());
+        let mut rows = vec![header];
+        for c in &self.cells {
+            let mut row = c.keys.clone();
+            row.extend(c.cycles.iter().map(u64::to_string));
+            row.push(c.components_sum().to_string());
+            row.push(c.total.to_string());
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// The table as RFC-4180 CSV.
+    pub fn to_csv(&self) -> String {
+        to_csv(&self.rows())
+    }
+
+    /// Encodes the table as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::obj(vec![
+            ("key_names", strs(&self.key_names)),
+            ("components", strs(&self.components)),
+            (
+                "cells",
+                Json::Arr(
+                    self.cells
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("keys", strs(&c.keys)),
+                                (
+                                    "cycles",
+                                    Json::Arr(
+                                        c.cycles.iter().map(|&v| Json::Num(v as f64)).collect(),
+                                    ),
+                                ),
+                                ("total", Json::Num(c.total as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a table previously produced by [`Self::to_json`].
+    pub fn from_json(doc: &Json) -> Option<AttributionTable> {
+        let strs = |j: &Json| -> Option<Vec<String>> {
+            j.as_arr()?
+                .iter()
+                .map(|s| s.as_str().map(str::to_string))
+                .collect()
+        };
+        let mut cells = Vec::new();
+        for c in doc.get("cells")?.as_arr()? {
+            cells.push(AttributionCell {
+                keys: strs(c.get("keys")?)?,
+                cycles: c
+                    .get("cycles")?
+                    .as_arr()?
+                    .iter()
+                    .map(Json::as_u64)
+                    .collect::<Option<Vec<_>>>()?,
+                total: c.get("total")?.as_u64()?,
+            });
+        }
+        Some(AttributionTable {
+            key_names: strs(doc.get("key_names")?)?,
+            components: strs(doc.get("components")?)?,
+            cells,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AttributionTable {
+        let mut t = AttributionTable::new(
+            ["workload", "policy"],
+            ["queue_delay", "sts_shift", "pecc_verify", "array_access"],
+        );
+        t.push(["canneal", "fcfs"], [100, 40, 10, 50], 200);
+        t.push(["canneal", "shift-aware"], [60, 30, 10, 50], 150);
+        t
+    }
+
+    #[test]
+    fn exact_decomposition_has_zero_residual() {
+        let t = sample();
+        assert_eq!(t.max_residual(), 0);
+        let c = t.cell(&["canneal", "fcfs"]).expect("cell");
+        assert_eq!(c.components_sum(), 200);
+        assert_eq!(c.residual(), 0);
+        assert_eq!(t.component(c, "sts_shift"), Some(40));
+        assert_eq!(t.component(c, "missing"), None);
+    }
+
+    #[test]
+    fn residual_flags_inexact_cells() {
+        let mut t = sample();
+        t.push(["x", "fcfs"], [1, 1, 1, 1], 10);
+        assert_eq!(t.max_residual(), 6);
+        assert_eq!(t.cell(&["x", "fcfs"]).unwrap().residual(), -6);
+    }
+
+    #[test]
+    fn rows_have_schema_columns_plus_sum_and_total() {
+        let t = sample();
+        let rows = t.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 2 + 4 + 2);
+        assert_eq!(rows[0][6], "components_sum");
+        assert_eq!(rows[1][6], "200");
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("workload,policy,queue_delay"));
+    }
+
+    #[test]
+    fn json_round_trip_preserves_table() {
+        let t = sample();
+        let text = t.to_json().pretty();
+        let parsed = Json::parse(&text).expect("parse");
+        let back = AttributionTable::from_json(&parsed).expect("decode");
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    #[should_panic(expected = "component arity")]
+    fn mismatched_component_arity_panics() {
+        let mut t = sample();
+        t.push(["a", "b"], [1, 2], 3);
+    }
+}

@@ -14,11 +14,11 @@
 //! global sequence number (never reused, so drops are detectable) and
 //! the simulation cycle at which they were recorded.
 
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 use crate::json::Json;
+use crate::ring::BoundedRing;
 
 /// Default ring capacity (events held in memory).
 pub const DEFAULT_TRACE_CAPACITY: usize = 4096;
@@ -144,19 +144,11 @@ pub struct TracedEvent {
     pub event: ShiftEvent,
 }
 
-#[derive(Debug)]
-struct RingInner {
-    capacity: usize,
-    buf: VecDeque<TracedEvent>,
-    next_seq: u64,
-    dropped: u64,
-}
-
 /// A bounded, sequence-numbered event ring.
 #[derive(Debug)]
 pub struct EventTrace {
     enabled: AtomicBool,
-    inner: Mutex<RingInner>,
+    inner: Mutex<BoundedRing<TracedEvent>>,
 }
 
 impl Default for EventTrace {
@@ -175,12 +167,7 @@ impl EventTrace {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             enabled: AtomicBool::new(false),
-            inner: Mutex::new(RingInner {
-                capacity: capacity.max(1),
-                buf: VecDeque::new(),
-                next_seq: 0,
-                dropped: 0,
-            }),
+            inner: Mutex::new(BoundedRing::new(capacity)),
         }
     }
 
@@ -198,12 +185,10 @@ impl EventTrace {
     /// Changes the ring capacity; excess oldest events are dropped
     /// immediately.
     pub fn set_capacity(&self, capacity: usize) {
-        let mut inner = self.inner.lock().expect("event trace poisoned");
-        inner.capacity = capacity.max(1);
-        while inner.buf.len() > inner.capacity {
-            inner.buf.pop_front();
-            inner.dropped += 1;
-        }
+        self.inner
+            .lock()
+            .expect("event trace poisoned")
+            .set_capacity(capacity);
     }
 
     /// Records an event at the given simulation cycle.
@@ -212,22 +197,14 @@ impl EventTrace {
             return;
         }
         let mut inner = self.inner.lock().expect("event trace poisoned");
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        if inner.buf.len() == inner.capacity {
-            inner.buf.pop_front();
-            inner.dropped += 1;
-        }
-        inner.buf.push_back(TracedEvent { seq, cycle, event });
+        let seq = inner.take_seq();
+        inner.push(TracedEvent { seq, cycle, event });
     }
 
     /// Clears events and counters (the enabled flag and capacity are
     /// untouched).
     pub fn reset(&self) {
-        let mut inner = self.inner.lock().expect("event trace poisoned");
-        inner.buf.clear();
-        inner.next_seq = 0;
-        inner.dropped = 0;
+        self.inner.lock().expect("event trace poisoned").reset();
     }
 
     /// A point-in-time copy of the ring.

@@ -2,14 +2,20 @@
 //!
 //! [`to_csv`] is the single CSV serialiser for the whole workspace;
 //! `rtm_core::experiments::to_csv` re-exports it so experiment drivers
-//! and the observability exporters cannot drift apart.
+//! and the observability exporters cannot drift apart. Span snapshots
+//! additionally export as [`folded_stacks`] (the flamegraph collapsed
+//! format: one `path value` line per stack) and as [`chrome_trace`]
+//! (Chrome/Perfetto `trace_event` JSON, loadable in `about:tracing`).
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
 use crate::events::EventTraceSnapshot;
 use crate::json::Json;
+use crate::labels::LabeledSnapshot;
 use crate::metrics::{MetricValue, RegistrySnapshot};
+use crate::span::SpanTraceSnapshot;
 
 /// Serialises rows of cells as RFC-4180-style CSV (quotes doubled,
 /// cells containing commas/quotes/newlines quoted).
@@ -256,6 +262,116 @@ impl EventTraceSnapshot {
     }
 }
 
+impl LabeledSnapshot {
+    /// Rows for CSV export:
+    /// `name,labels,type,count,value,min,max,p50,p95,p99` with labels
+    /// rendered as `k=v;k=v`, header included.
+    pub fn rows(&self) -> Vec<Vec<String>> {
+        let mut rows = vec![vec![
+            "name".to_string(),
+            "labels".to_string(),
+            "type".to_string(),
+            "count".to_string(),
+            "value".to_string(),
+            "min".to_string(),
+            "max".to_string(),
+            "p50".to_string(),
+            "p95".to_string(),
+            "p99".to_string(),
+        ]];
+        for e in &self.entries {
+            let mut row = vec![e.name.clone(), e.label_string()];
+            match &e.value {
+                MetricValue::Counter(v) => {
+                    row.extend(["counter".into(), String::new(), v.to_string()]);
+                    row.resize(10, String::new());
+                }
+                MetricValue::Gauge(v) => {
+                    row.extend(["gauge".into(), String::new(), num(*v)]);
+                    row.resize(10, String::new());
+                }
+                MetricValue::Histogram(h) => {
+                    row.extend([
+                        "histogram".into(),
+                        h.count.to_string(),
+                        num(h.sum),
+                        num(h.min),
+                        num(h.max),
+                        num(h.p50),
+                        num(h.p95),
+                        num(h.p99),
+                    ]);
+                }
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// CSV rendering of [`Self::rows`].
+    pub fn to_csv(&self) -> String {
+        to_csv(&self.rows())
+    }
+}
+
+/// Renders a span snapshot in the flamegraph *collapsed stack* format:
+/// one `root;child;leaf value` line per distinct stack, where the value
+/// is the stack's total *self* cycles (time not covered by retained
+/// children). Lines are sorted by path and zero-valued stacks are
+/// omitted, so equal snapshots render byte-identically and the output
+/// feeds `flamegraph.pl` / speedscope / `inferno` unchanged.
+pub fn folded_stacks(snap: &SpanTraceSnapshot) -> String {
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for span in &snap.spans {
+        let cycles = snap.self_cycles(span);
+        if cycles > 0 {
+            *stacks.entry(snap.path_of(span)).or_insert(0) += cycles;
+        }
+    }
+    let mut out = String::new();
+    for (path, cycles) in stacks {
+        out.push_str(&path);
+        out.push(' ');
+        out.push_str(&cycles.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a span snapshot as Chrome `trace_event` JSON (complete `X`
+/// events; 1 simulated cycle = 1 µs), loadable in `about:tracing` or
+/// Perfetto. Span ids and parents ride along in `args`.
+pub fn chrome_trace(snap: &SpanTraceSnapshot) -> Json {
+    Json::obj(vec![
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+        (
+            "traceEvents",
+            Json::Arr(
+                snap.spans
+                    .iter()
+                    .map(|s| {
+                        Json::obj(vec![
+                            ("name", Json::Str(s.name.clone())),
+                            ("ph", Json::Str("X".to_string())),
+                            ("ts", Json::Num(s.start_cycle as f64)),
+                            ("dur", Json::Num(s.duration() as f64)),
+                            ("pid", Json::Num(0.0)),
+                            ("tid", Json::Num(0.0)),
+                            (
+                                "args",
+                                Json::obj(vec![
+                                    ("id", Json::Num(s.id as f64)),
+                                    ("parent", Json::Num(s.parent as f64)),
+                                ]),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Writes a JSON document to `path` in pretty form. `.csv` paths are
 /// not special-cased here; callers pick the representation.
 pub fn write_json(path: &Path, doc: &Json) -> io::Result<()> {
@@ -266,7 +382,9 @@ pub fn write_json(path: &Path, doc: &Json) -> io::Result<()> {
 mod tests {
     use super::*;
     use crate::events::{EventTrace, PeccOutcome, ShiftEvent};
+    use crate::labels::LabeledMetrics;
     use crate::metrics::MetricsRegistry;
+    use crate::span::SpanTrace;
 
     #[test]
     fn csv_quotes_special_cells() {
@@ -343,5 +461,76 @@ mod tests {
         assert_eq!(lines[2], "2,8,ReqDispatched,9,3,3,");
         assert_eq!(lines[3], "3,20,ReqCompleted,9,,,12");
         assert_eq!(lines[4], "4,21,ReqBackpressure,,3,,");
+    }
+
+    fn sample_spans() -> SpanTraceSnapshot {
+        let t = SpanTrace::new();
+        t.set_enabled(true);
+        let req = t.record(0, "request", 0, 100);
+        t.record(req, "queue", 0, 30);
+        let d = t.record(req, "dispatch", 30, 95);
+        t.record(d, "plan_shift", 30, 70);
+        // Second request hitting the same stack shapes.
+        let req2 = t.record(0, "request", 100, 140);
+        t.record(req2, "queue", 100, 110);
+        t.snapshot()
+    }
+
+    #[test]
+    fn folded_stacks_aggregate_self_cycles_by_path() {
+        let folded = folded_stacks(&sample_spans());
+        let lines: Vec<&str> = folded.lines().collect();
+        // Sorted by path; "request" self = (100-30-65) + (40-10).
+        assert_eq!(
+            lines,
+            vec![
+                "request 35",
+                "request;dispatch 25",
+                "request;dispatch;plan_shift 40",
+                "request;queue 40",
+            ]
+        );
+    }
+
+    #[test]
+    fn folded_stacks_omit_zero_frames() {
+        let t = SpanTrace::new();
+        t.set_enabled(true);
+        let a = t.record(0, "outer", 0, 10);
+        t.record(a, "inner", 0, 10); // covers outer fully
+        let folded = folded_stacks(&t.snapshot());
+        assert_eq!(folded, "outer;inner 10\n");
+    }
+
+    #[test]
+    fn chrome_trace_emits_complete_events() {
+        let doc = chrome_trace(&sample_spans());
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 6);
+        let first = &events[0];
+        assert_eq!(first.get("name").unwrap().as_str(), Some("request"));
+        assert_eq!(first.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(first.get("ts").unwrap().as_u64(), Some(0));
+        assert_eq!(first.get("dur").unwrap().as_u64(), Some(100));
+        assert_eq!(
+            first.get("args").unwrap().get("parent").unwrap().as_u64(),
+            Some(0)
+        );
+        // Parseable by our own JSON reader (and thus well-formed).
+        assert!(Json::parse(&doc.pretty()).is_ok());
+    }
+
+    #[test]
+    fn labeled_csv_has_labels_column() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        m.counter_add_with("serve.requests", &[("tenant", "0"), ("bank", "2")], 7);
+        m.observe_labeled("serve.latency", &[("tenant", "0")], 4.0);
+        let csv = m.snapshot().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,labels,type"));
+        assert_eq!(lines[1], "serve.latency,tenant=0,histogram,1,4,4,4,4,4,4");
+        assert_eq!(lines[2], "serve.requests,bank=2;tenant=0,counter,,7,,,,,");
     }
 }

@@ -1,0 +1,556 @@
+//! Dimensioned metrics: counters, gauges and histograms keyed on
+//! `(name, label-set)` instead of a flat name.
+//!
+//! Flat names force instrumentation to mangle dimensions into strings
+//! (`"serve.tenant3.requests"`), which neither aggregates nor filters.
+//! Here a metric carries an explicit label set — `tenant`, `bank`,
+//! `scheme`, `policy`, `engine`, `workload` — and the snapshot keeps
+//! every combination separately, sorted, so reports can slice along
+//! any dimension.
+//!
+//! # Cost model
+//!
+//! Label sets are **interned per shard**: a caller canonicalises its
+//! labels once (at setup, or per cell — not per event) via
+//! [`LabeledMetrics::intern`] and receives a copyable [`LabelId`].
+//! The hot recording path then costs exactly what the flat registry
+//! costs — one relaxed atomic load for the enabled gate, an FNV hash,
+//! and one short-lived shard `Mutex` — with no per-event allocation or
+//! label sorting. Shards are picked by the *label set* (not the metric
+//! name), so the interned id also names its shard and a recording call
+//! locks only that shard.
+//!
+//! The `*_with` convenience methods intern on every call; they are for
+//! cold paths (per-run summaries), not per-event instrumentation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+use crate::metrics::{
+    fnv1a, merge_histograms, metric_from_json, metric_to_json, summarise, Hist, Metric,
+    MetricValue, DEFAULT_BUCKETS, SHARD_COUNT,
+};
+
+/// An interned label set: the shard that owns it plus its index there.
+/// Cheap to copy and stable for the life of the [`LabeledMetrics`]
+/// (ids survive [`LabeledMetrics::reset`], which clears values only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelId {
+    shard: u8,
+    idx: u32,
+}
+
+#[derive(Debug, Default)]
+struct LabelShard {
+    /// Canonical label string → interned index.
+    interned: BTreeMap<String, u32>,
+    /// Interned index → sorted `(key, value)` pairs.
+    sets: Vec<Vec<(String, String)>>,
+    /// `(metric name, interned index)` → value.
+    metrics: BTreeMap<(String, u32), Metric>,
+}
+
+/// Canonical form of a label set: pairs sorted by key, joined with
+/// unit/record separators so no key or value concatenation aliases
+/// another set.
+fn canonical(labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
+    let mut pairs: Vec<(String, String)> = labels
+        .iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
+    let mut key = String::new();
+    for (k, v) in &pairs {
+        key.push_str(k);
+        key.push('\u{1f}');
+        key.push_str(v);
+        key.push('\u{1e}');
+    }
+    (key, pairs)
+}
+
+/// A registry of labeled metrics (see the module docs for the cost
+/// model). Like [`crate::metrics::MetricsRegistry`], it is disabled by
+/// default and a disabled recording call is one relaxed atomic load.
+#[derive(Debug)]
+pub struct LabeledMetrics {
+    enabled: AtomicBool,
+    shards: [Mutex<LabelShard>; SHARD_COUNT],
+}
+
+impl Default for LabeledMetrics {
+    fn default() -> Self {
+        Self {
+            enabled: AtomicBool::new(false),
+            shards: std::array::from_fn(|_| Mutex::new(LabelShard::default())),
+        }
+    }
+}
+
+impl LabeledMetrics {
+    /// Creates an empty, disabled registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Turns recording on or off (off by default). Interning works
+    /// regardless, so ids can be prepared before recording starts.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Interns a label set and returns its id. Order and duplicates in
+    /// `labels` do not matter — pairs are sorted and deduplicated, so
+    /// `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]` intern to
+    /// the same id.
+    pub fn intern(&self, labels: &[(&str, &str)]) -> LabelId {
+        let (key, pairs) = canonical(labels);
+        let shard = (fnv1a(&key) % SHARD_COUNT as u64) as u8;
+        let mut inner = self.shard(shard as usize);
+        if let Some(&idx) = inner.interned.get(&key) {
+            return LabelId { shard, idx };
+        }
+        let idx = inner.sets.len() as u32;
+        inner.interned.insert(key, idx);
+        inner.sets.push(pairs);
+        LabelId { shard, idx }
+    }
+
+    fn shard(&self, i: usize) -> std::sync::MutexGuard<'_, LabelShard> {
+        self.shards[i].lock().expect("labeled metrics poisoned")
+    }
+
+    /// Adds `delta` to counter `name` under the interned label set.
+    pub fn counter_add(&self, name: &str, id: LabelId, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.shard(id.shard as usize);
+        match inner
+            .metrics
+            .entry((name.to_string(), id.idx))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(v) => *v += delta,
+            _ => debug_assert!(false, "labeled metric {name} is not a counter"),
+        }
+    }
+
+    /// Sets gauge `name` under the interned label set.
+    pub fn gauge_set(&self, name: &str, id: LabelId, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.shard(id.shard as usize);
+        match inner
+            .metrics
+            .entry((name.to_string(), id.idx))
+            .or_insert(Metric::Gauge(0.0))
+        {
+            Metric::Gauge(v) => *v = value,
+            _ => debug_assert!(false, "labeled metric {name} is not a gauge"),
+        }
+    }
+
+    /// Records `value` into histogram `name` under the interned label
+    /// set, with the [`DEFAULT_BUCKETS`] layout.
+    pub fn observe(&self, name: &str, id: LabelId, value: f64) {
+        self.observe_with_buckets(name, id, value, &DEFAULT_BUCKETS);
+    }
+
+    /// [`Self::observe`] with explicit bucket bounds on first use.
+    pub fn observe_with_buckets(&self, name: &str, id: LabelId, value: f64, bounds: &[f64]) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.shard(id.shard as usize);
+        match inner
+            .metrics
+            .entry((name.to_string(), id.idx))
+            .or_insert_with(|| Metric::Histogram(Hist::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            _ => debug_assert!(false, "labeled metric {name} is not a histogram"),
+        }
+    }
+
+    /// Cold-path convenience: interns `labels` and adds to the counter
+    /// in one call.
+    pub fn counter_add_with(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let id = self.intern(labels);
+        self.counter_add(name, id, delta);
+    }
+
+    /// Cold-path convenience: interns `labels` and sets the gauge in
+    /// one call.
+    pub fn gauge_set_with(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let id = self.intern(labels);
+        self.gauge_set(name, id, value);
+    }
+
+    /// Cold-path convenience: interns `labels` and records into the
+    /// histogram in one call.
+    pub fn observe_labeled(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let id = self.intern(labels);
+        self.observe(name, id, value);
+    }
+
+    /// Clears every metric *value*; interned label sets (and handed-out
+    /// [`LabelId`]s) stay valid. The enabled flag is untouched.
+    pub fn reset(&self) {
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("labeled metrics poisoned")
+                .metrics
+                .clear();
+        }
+    }
+
+    /// A copy of every labeled metric, sorted by `(name, labels)` so
+    /// the output is independent of interning order and shard layout.
+    pub fn snapshot(&self) -> LabeledSnapshot {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let inner = shard.lock().expect("labeled metrics poisoned");
+            for ((name, idx), metric) in &inner.metrics {
+                entries.push(LabeledMetricSnapshot {
+                    name: name.clone(),
+                    labels: inner.sets[*idx as usize].clone(),
+                    value: match metric {
+                        Metric::Counter(v) => MetricValue::Counter(*v),
+                        Metric::Gauge(v) => MetricValue::Gauge(*v),
+                        Metric::Histogram(h) => MetricValue::Histogram(summarise(h)),
+                    },
+                });
+            }
+        }
+        entries.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        LabeledSnapshot { entries }
+    }
+}
+
+/// A point-in-time copy of one labeled metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledMetricSnapshot {
+    /// The metric's registered name.
+    pub name: String,
+    /// Sorted `(key, value)` label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Its value at snapshot time.
+    pub value: MetricValue,
+}
+
+impl LabeledMetricSnapshot {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The labels as a compact `k=v;k=v` string (CSV-friendly).
+    pub fn label_string(&self) -> String {
+        self.labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(";")
+    }
+}
+
+/// A copy of a whole labeled registry, sorted by `(name, labels)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LabeledSnapshot {
+    /// All labeled metrics, sorted by `(name, labels)`.
+    pub entries: Vec<LabeledMetricSnapshot>,
+}
+
+impl LabeledSnapshot {
+    /// Looks up a metric by name and exact label set (order-sensitive
+    /// on sorted pairs — pass them sorted, as snapshots store them).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| {
+                e.name == name
+                    && e.labels.len() == labels.len()
+                    && e.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (lk, lv))| k == lk && v == lv)
+            })
+            .map(|e| &e.value)
+    }
+
+    /// The value of counter `name` under `labels`, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of gauge `name` under `labels`, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.get(name, labels) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Every entry of metric `name`, in label order.
+    pub fn series(&self, name: &str) -> Vec<&LabeledMetricSnapshot> {
+        self.entries.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Merges counters by addition, gauges by taking `other`'s value,
+    /// histograms bucket-wise; entries only in `other` are appended.
+    /// Mirrors [`crate::metrics::RegistrySnapshot::absorb`].
+    pub fn absorb(&mut self, other: &LabeledSnapshot) {
+        for theirs in &other.entries {
+            match self
+                .entries
+                .iter_mut()
+                .find(|e| e.name == theirs.name && e.labels == theirs.labels)
+            {
+                None => self.entries.push(theirs.clone()),
+                Some(mine) => match (&mut mine.value, &theirs.value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        merge_histograms(a, b);
+                    }
+                    _ => {}
+                },
+            }
+        }
+        self.entries
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// Encodes the snapshot as a JSON array of labeled metrics.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.entries
+                .iter()
+                .map(|e| {
+                    Json::obj(vec![
+                        ("name", Json::Str(e.name.clone())),
+                        (
+                            "labels",
+                            Json::Obj(
+                                e.labels
+                                    .iter()
+                                    .map(|(k, v)| (k.clone(), Json::Str(v.clone())))
+                                    .collect(),
+                            ),
+                        ),
+                        ("value", metric_to_json(&e.value)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// Decodes a snapshot previously produced by [`Self::to_json`].
+    pub fn from_json(doc: &Json) -> Option<LabeledSnapshot> {
+        let mut entries = Vec::new();
+        for e in doc.as_arr()? {
+            let Json::Obj(label_pairs) = e.get("labels")? else {
+                return None;
+            };
+            let mut labels = Vec::with_capacity(label_pairs.len());
+            for (k, v) in label_pairs {
+                labels.push((k.clone(), v.as_str()?.to_string()));
+            }
+            entries.push(LabeledMetricSnapshot {
+                name: e.get("name")?.as_str()?.to_string(),
+                labels,
+                value: metric_from_json(e.get("value")?)?,
+            });
+        }
+        Some(LabeledSnapshot { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let m = LabeledMetrics::new();
+        let id = m.intern(&[("tenant", "0")]);
+        m.counter_add("req", id, 1);
+        m.observe("lat", id, 3.0);
+        assert!(m.snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn interning_is_order_and_duplicate_insensitive() {
+        let m = LabeledMetrics::new();
+        let a = m.intern(&[("tenant", "0"), ("bank", "3")]);
+        let b = m.intern(&[("bank", "3"), ("tenant", "0")]);
+        let c = m.intern(&[("bank", "3"), ("tenant", "0"), ("bank", "3")]);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        let other = m.intern(&[("tenant", "1"), ("bank", "3")]);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn canonical_form_does_not_alias() {
+        // "ab"+"c" must not collide with "a"+"bc".
+        let m = LabeledMetrics::new();
+        let a = m.intern(&[("ab", "c")]);
+        let b = m.intern(&[("a", "bc")]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counters_gauges_histograms_accumulate_per_label_set() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        let t0 = m.intern(&[("tenant", "0")]);
+        let t1 = m.intern(&[("tenant", "1")]);
+        m.counter_add("serve.requests", t0, 3);
+        m.counter_add("serve.requests", t1, 5);
+        m.counter_add("serve.requests", t0, 1);
+        m.gauge_set("serve.occupancy", t0, 0.5);
+        m.observe("serve.latency", t0, 12.0);
+        m.observe("serve.latency", t0, 20.0);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("serve.requests", &[("tenant", "0")]), Some(4));
+        assert_eq!(snap.counter("serve.requests", &[("tenant", "1")]), Some(5));
+        assert_eq!(snap.gauge("serve.occupancy", &[("tenant", "0")]), Some(0.5));
+        let series = snap.series("serve.requests");
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].label("tenant"), Some("0"));
+        match snap.get("serve.latency", &[("tenant", "0")]) {
+            Some(MetricValue::Histogram(h)) => assert_eq!(h.count, 2),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name_then_labels() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        // Intern in scrambled order on purpose.
+        for t in [3, 1, 2, 0] {
+            m.counter_add_with("b.metric", &[("tenant", &t.to_string())], 1);
+            m.counter_add_with("a.metric", &[("tenant", &t.to_string())], 1);
+        }
+        let snap = m.snapshot();
+        let keys: Vec<(String, String)> = snap
+            .entries
+            .iter()
+            .map(|e| (e.name.clone(), e.label_string()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(snap.entries.len(), 8);
+    }
+
+    #[test]
+    fn reset_clears_values_but_keeps_ids() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        let id = m.intern(&[("bank", "2")]);
+        m.counter_add("c", id, 7);
+        m.reset();
+        assert!(m.snapshot().entries.is_empty());
+        m.counter_add("c", id, 1);
+        assert_eq!(m.snapshot().counter("c", &[("bank", "2")]), Some(1));
+    }
+
+    #[test]
+    fn absorb_merges_matching_label_sets() {
+        let a = LabeledMetrics::new();
+        a.set_enabled(true);
+        a.counter_add_with("c", &[("tenant", "0")], 2);
+        a.observe_labeled("h", &[("tenant", "0")], 1.0);
+        let b = LabeledMetrics::new();
+        b.set_enabled(true);
+        b.counter_add_with("c", &[("tenant", "0")], 3);
+        b.counter_add_with("c", &[("tenant", "1")], 9);
+        b.observe_labeled("h", &[("tenant", "0")], 5.0);
+        let mut total = a.snapshot();
+        total.absorb(&b.snapshot());
+        assert_eq!(total.counter("c", &[("tenant", "0")]), Some(5));
+        assert_eq!(total.counter("c", &[("tenant", "1")]), Some(9));
+        match total.get("h", &[("tenant", "0")]) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert_eq!(h.min, 1.0);
+                assert_eq!(h.max, 5.0);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_snapshot() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        m.counter_add_with(
+            "serve.requests",
+            &[("tenant", "0"), ("scheme", "p-ECC-S")],
+            4,
+        );
+        m.gauge_set_with("bank.busy_frac", &[("bank", "5")], 0.25);
+        m.observe_labeled("serve.latency", &[("tenant", "1")], 33.0);
+        let snap = m.snapshot();
+        let text = snap.to_json().pretty();
+        let parsed = Json::parse(&text).expect("parse");
+        let back = LabeledSnapshot::from_json(&parsed).expect("decode");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn concurrent_labeled_updates_are_lossless() {
+        let m = LabeledMetrics::new();
+        m.set_enabled(true);
+        let ids: Vec<LabelId> = (0..4)
+            .map(|t| m.intern(&[("tenant", &t.to_string())]))
+            .collect();
+        std::thread::scope(|scope| {
+            for &id in &ids {
+                let m = &m;
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        m.counter_add("req", id, 1);
+                    }
+                });
+            }
+        });
+        let snap = m.snapshot();
+        for t in 0..4 {
+            assert_eq!(
+                snap.counter("req", &[("tenant", &t.to_string())]),
+                Some(1_000),
+                "tenant {t}"
+            );
+        }
+    }
+}

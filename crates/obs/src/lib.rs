@@ -6,10 +6,20 @@
 //!
 //! * a [`metrics::MetricsRegistry`] of named counters, gauges and
 //!   fixed-bucket histograms with p50/p95/p99 summaries;
+//! * a [`labels::LabeledMetrics`] store for metrics keyed on
+//!   `(name, label-set)` — tenant, bank, scheme, policy — with
+//!   per-shard label interning so the hot path stays a hash plus an
+//!   atomic;
 //! * an [`events::EventTrace`] — a bounded ring buffer of
 //!   shift-transaction events ([`events::ShiftEvent`]) with sequence
 //!   numbers and cycle timestamps, so peak memory stays independent of
 //!   run length;
+//! * a [`span::SpanTrace`] — a bounded ring of hierarchical,
+//!   cycle-stamped spans (`request → dispatch → plan_shift →
+//!   sts_pulse`), exportable as folded stacks (flamegraphs) and Chrome
+//!   `trace_event` JSON;
+//! * [`attrib::AttributionTable`] — exact per-cell cycle attribution
+//!   (components sum to the measured total within one cycle);
 //! * [`timer::ScopedTimer`] and [`timer::Progress`] for wall-clock
 //!   phase timing and sweep heartbeats.
 //!
@@ -45,23 +55,32 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod events;
 pub mod export;
 pub mod json;
+pub mod labels;
 pub mod metrics;
+mod ring;
+pub mod span;
 pub mod timer;
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
 
 use events::{EventTrace, ShiftEvent};
+use labels::LabeledMetrics;
 use metrics::MetricsRegistry;
+use span::SpanTrace;
 
-/// The process-wide metrics registry plus event trace.
+/// The process-wide metrics registry, labeled-metric store, event
+/// trace and span trace.
 #[derive(Debug, Default)]
 pub struct Observer {
     registry: MetricsRegistry,
+    labeled: LabeledMetrics,
     trace: EventTrace,
+    spans: SpanTrace,
 }
 
 impl Observer {
@@ -76,9 +95,19 @@ impl Observer {
         &self.registry
     }
 
+    /// The labeled-metric store.
+    pub fn labeled(&self) -> &LabeledMetrics {
+        &self.labeled
+    }
+
     /// The shift-transaction event trace.
     pub fn trace(&self) -> &EventTrace {
         &self.trace
+    }
+
+    /// The hierarchical span trace.
+    pub fn spans(&self) -> &SpanTrace {
+        &self.spans
     }
 }
 
@@ -118,6 +147,15 @@ pub fn counter_add(name: &str, delta: u64) {
 /// (no-op while disabled).
 pub fn observe(name: &str, value: f64) {
     global().registry().observe(name, value);
+}
+
+/// Records a completed span into the global span trace and returns its
+/// id (0 while disabled). Pass [`span::current_parent`] as `parent` to
+/// nest under the enclosing [`span::ParentScope`].
+pub fn record_span(parent: u64, name: &str, start_cycle: u64, end_cycle: u64) -> u64 {
+    global()
+        .spans()
+        .record(parent, name, start_cycle, end_cycle)
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@ pub const DEFAULT_BUCKETS: [f64; 28] = [
 ];
 
 #[derive(Debug, Clone)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(u64),
     Gauge(f64),
     Histogram(Hist),
@@ -42,7 +42,7 @@ enum Metric {
 /// Fixed-bucket histogram state: `counts[i]` tallies observations with
 /// `value <= bounds[i]`; the final slot is the overflow bucket.
 #[derive(Debug, Clone)]
-struct Hist {
+pub(crate) struct Hist {
     bounds: Vec<f64>,
     counts: Vec<u64>,
     count: u64,
@@ -52,7 +52,7 @@ struct Hist {
 }
 
 impl Hist {
-    fn new(bounds: &[f64]) -> Self {
+    pub(crate) fn new(bounds: &[f64]) -> Self {
         debug_assert!(
             bounds.windows(2).all(|w| w[0] < w[1]),
             "histogram bounds must be strictly increasing"
@@ -67,7 +67,7 @@ impl Hist {
         }
     }
 
-    fn observe(&mut self, value: f64) {
+    pub(crate) fn observe(&mut self, value: f64) {
         let idx = self
             .bounds
             .iter()
@@ -89,12 +89,18 @@ pub const SHARD_COUNT: usize = 16;
 /// FNV-1a over the metric name picks the shard; names are stable, so a
 /// metric always lives in the same shard.
 fn shard_of(name: &str) -> usize {
+    (fnv1a(name) % SHARD_COUNT as u64) as usize
+}
+
+/// FNV-1a hash of a string (shared by the name-sharded registry and
+/// the label-set-sharded [`crate::labels::LabeledMetrics`]).
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.bytes() {
+    for b in s.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    (h % SHARD_COUNT as u64) as usize
+    h
 }
 
 /// A registry of named metrics.
@@ -240,7 +246,7 @@ impl MetricsRegistry {
     }
 }
 
-fn summarise(h: &Hist) -> HistogramSummary {
+pub(crate) fn summarise(h: &Hist) -> HistogramSummary {
     let (min, max) = if h.count == 0 {
         (0.0, 0.0)
     } else {
@@ -267,6 +273,18 @@ fn summarise(h: &Hist) -> HistogramSummary {
 /// Quantile estimate by linear interpolation inside the bucket that
 /// contains the target rank; exact at bucket edges and clamped to the
 /// observed `[min, max]`.
+///
+/// # Edge cases (pinned by unit tests)
+///
+/// * **Empty histogram**: every quantile is `0.0` (not NaN), matching
+///   `min`/`max`, which are reported as `0.0` when `count == 0`.
+/// * **Single sample `v`**: every quantile is exactly `v` — the clamp
+///   to `[min, max] = [v, v]` collapses the in-bucket interpolation.
+/// * **Point mass** (all samples equal): same collapse, exact value.
+///
+/// These match the *nearest-rank* convention used for exact sample
+/// vectors (see [`nearest_rank`]): both report an actually observed
+/// value for degenerate inputs rather than an interpolated one.
 fn bucket_quantile(h: &Hist, q: f64) -> f64 {
     if h.count == 0 {
         return 0.0;
@@ -296,6 +314,36 @@ fn bucket_quantile(h: &Hist, q: f64) -> f64 {
         cumulative = next;
     }
     h.max
+}
+
+/// Exact nearest-rank percentile over a **sorted** sample slice:
+/// `sorted[(n - 1) * pct / 100]` with integer arithmetic, so results
+/// are bit-identical across platforms and thread counts.
+///
+/// # Edge cases (pinned by unit tests)
+///
+/// * **Empty slice**: returns `0` (there is no sample to report; the
+///   zero matches the empty [`HistogramSummary`], whose `min`/`max`/
+///   quantiles all read `0`).
+/// * **Single sample**: every percentile — p0 through p100 — returns
+///   that sample: the only observed value *is* every quantile.
+/// * The index `(n - 1) * pct / 100` rounds the rank *down*, so p50 of
+///   `[1, 2]` is `1` (the lower of the two), and p99 of 100 samples is
+///   the 99th (index 98), not the maximum.
+///
+/// # Panics
+///
+/// Debug-asserts that `sorted` is non-decreasing and `pct <= 100`.
+pub fn nearest_rank(sorted: &[u64], pct: usize) -> u64 {
+    debug_assert!(pct <= 100, "percentile out of range: {pct}");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "nearest_rank needs sorted input"
+    );
+    if sorted.is_empty() {
+        return 0;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
 }
 
 /// A point-in-time copy of one metric.
@@ -413,7 +461,7 @@ impl RegistrySnapshot {
     }
 }
 
-fn merge_histograms(a: &mut HistogramSummary, b: &HistogramSummary) {
+pub(crate) fn merge_histograms(a: &mut HistogramSummary, b: &HistogramSummary) {
     if b.count == 0 {
         return;
     }
@@ -500,7 +548,7 @@ impl RegistrySnapshot {
     }
 }
 
-fn metric_to_json(value: &MetricValue) -> Json {
+pub(crate) fn metric_to_json(value: &MetricValue) -> Json {
     match value {
         MetricValue::Counter(v) => Json::obj(vec![
             ("type", Json::Str("counter".into())),
@@ -537,7 +585,7 @@ fn metric_to_json(value: &MetricValue) -> Json {
     }
 }
 
-fn metric_from_json(doc: &Json) -> Option<MetricValue> {
+pub(crate) fn metric_from_json(doc: &Json) -> Option<MetricValue> {
     match doc.get("type")?.as_str()? {
         "counter" => Some(MetricValue::Counter(doc.get("value")?.as_u64()?)),
         "gauge" => Some(MetricValue::Gauge(doc.get("value")?.as_f64()?)),
@@ -640,6 +688,53 @@ mod tests {
         let h = snap.histogram("lat").expect("histogram");
         assert_eq!(h.p50, 42.0);
         assert_eq!(h.p99, 42.0);
+    }
+
+    #[test]
+    fn quantiles_of_empty_histogram_are_zero() {
+        // Pinned edge case: an empty histogram reports 0.0 for every
+        // summary field rather than NaN or an interpolation artefact.
+        let h = summarise(&Hist::new(&DEFAULT_BUCKETS));
+        assert_eq!(h.count, 0);
+        assert_eq!((h.min, h.max), (0.0, 0.0));
+        assert_eq!((h.p50, h.p95, h.p99), (0.0, 0.0, 0.0));
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_are_exact() {
+        // Pinned edge case: with one observation, every quantile is
+        // that observation — the [min, max] clamp collapses the
+        // in-bucket interpolation to the exact value.
+        for v in [0.0, 1.0, 3.7, 42.0, 1.5e8, 9.9e9] {
+            let mut hist = Hist::new(&DEFAULT_BUCKETS);
+            hist.observe(v);
+            let h = summarise(&hist);
+            assert_eq!(h.count, 1);
+            assert_eq!((h.min, h.max), (v, v));
+            assert_eq!((h.p50, h.p95, h.p99), (v, v, v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn nearest_rank_pins_edge_cases() {
+        // Empty: no sample to report, so 0 (matching the empty
+        // histogram summary).
+        assert_eq!(nearest_rank(&[], 50), 0);
+        assert_eq!(nearest_rank(&[], 99), 0);
+        // Single sample: every percentile is that sample.
+        for pct in [0, 1, 50, 95, 99, 100] {
+            assert_eq!(nearest_rank(&[7], pct), 7, "p{pct}");
+        }
+        // Two samples: the floor rank picks the lower one at p50.
+        assert_eq!(nearest_rank(&[1, 2], 50), 1);
+        assert_eq!(nearest_rank(&[1, 2], 100), 2);
+        // 100 samples 1..=100: p99 is the 99th, not the max.
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(nearest_rank(&v, 50), 50);
+        assert_eq!(nearest_rank(&v, 95), 95);
+        assert_eq!(nearest_rank(&v, 99), 99);
+        assert_eq!(nearest_rank(&v, 100), 100);
     }
 
     #[test]

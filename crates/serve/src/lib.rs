@@ -56,4 +56,4 @@ pub mod sim;
 
 pub use policy::SchedPolicy;
 pub use queued::{queued_hierarchy, QueuedLlc};
-pub use sim::{LatencySummary, ServeConfig, ServeResult, ServeSim};
+pub use sim::{LatencySummary, ServeConfig, ServeResult, ServeSim, ATTRIBUTION_COMPONENTS};

@@ -15,10 +15,27 @@ use rtm_controller::controller::ShiftPolicy;
 use rtm_cost::technology::{CacheTech, SystemConfig};
 use rtm_mem::cache::AccessKind;
 use rtm_mem::llc::{LlcModel, LlcStats, RacetrackLlc};
+use rtm_obs::attrib::AttributionTable;
 use rtm_obs::events::ShiftEvent;
-use rtm_obs::metrics::{MetricsRegistry, RegistrySnapshot};
+use rtm_obs::metrics::{nearest_rank, MetricsRegistry, RegistrySnapshot};
+use rtm_obs::span::ParentScope;
 use rtm_pecc::layout::ProtectionKind;
 use rtm_trace::MemAccess;
+
+/// Component names of the serving layer's cycle-attribution tables,
+/// in column order: where every attributed cycle of a dispatched
+/// request goes. `back_shift` is always 0 under the statistical
+/// controller (corrective back-shifts are an expected-value term the
+/// paper shows is negligible; the column is kept so the schema matches
+/// the bit-accurate injection layer's accounting).
+pub const ATTRIBUTION_COMPONENTS: [&str; 6] = [
+    "queue_delay",
+    "sts_shift",
+    "pecc_verify",
+    "back_shift",
+    "array_access",
+    "mem_fill",
+];
 
 /// Bucket bounds for the queueing-latency histograms (cycles).
 const LATENCY_BOUNDS: [f64; 12] = [
@@ -158,7 +175,7 @@ impl LatencySummary {
         }
         samples.sort_unstable();
         let n = samples.len();
-        let at = |pct: usize| samples[(n - 1) * pct / 100];
+        let at = |pct: usize| nearest_rank(&samples, pct);
         Self {
             count: n as u64,
             sum: samples.iter().sum(),
@@ -212,6 +229,17 @@ pub struct ServeResult {
     pub peak_in_flight: usize,
     /// LLC counters (shifts, hits, expected error mass, ...).
     pub llc: LlcStats,
+    /// Memory-fill cycles charged to dispatched requests (misses only;
+    /// summed at dispatch, so in-flight requests at run end are
+    /// included, matching `queue_delay.sum` and `service.sum`).
+    pub fill_cycles: u64,
+    /// Cycles each bank spent servicing dispatched requests.
+    pub bank_busy_cycles: Vec<u64>,
+    /// Per-tenant (client) cycle attribution: one cell per client,
+    /// components [`ATTRIBUTION_COMPONENTS`], each cell's total being
+    /// that client's independently summed queue + service + fill
+    /// cycles. Components sum to the total exactly.
+    pub tenants: AttributionTable,
     /// The run's private `rtm-obs` registry: `serve.*` histograms
     /// (bucketed queue delay / service / total latency), counters and
     /// occupancy gauges.
@@ -226,6 +254,30 @@ impl ServeResult {
         } else {
             self.requests as f64 * 1000.0 / self.cycles as f64
         }
+    }
+
+    /// This run's cycle attribution, one value per
+    /// [`ATTRIBUTION_COMPONENTS`] column. The decomposition crosses
+    /// module boundaries — queue delay and fill come from the
+    /// scheduler, the shift/verify split from the LLC's controller
+    /// accounting — yet sums to [`Self::attributed_total`] exactly.
+    pub fn attribution_components(&self) -> [u64; 6] {
+        let sts = self.llc.shift_cycles - self.llc.verify_cycles;
+        let array = self.service.sum - self.llc.shift_cycles;
+        [
+            self.queue_delay.sum,
+            sts,
+            self.llc.verify_cycles,
+            0,
+            array,
+            self.fill_cycles,
+        ]
+    }
+
+    /// Total attributed cycles: queue delay + LLC service + memory
+    /// fill summed over every dispatched request.
+    pub fn attributed_total(&self) -> u64 {
+        self.queue_delay.sum + self.service.sum + self.fill_cycles
     }
 
     /// Records this run's summary into the global metrics registry
@@ -301,6 +353,15 @@ pub struct ServeSim {
     totals: Vec<u64>,
     read_totals: Vec<u64>,
     write_totals: Vec<u64>,
+    fill_cycles_total: u64,
+    bank_busy: Vec<u64>,
+    /// Per-client cycle accounting, charged at dispatch.
+    tenant_requests: Vec<u64>,
+    tenant_queue: Vec<u64>,
+    tenant_service: Vec<u64>,
+    tenant_sts: Vec<u64>,
+    tenant_verify: Vec<u64>,
+    tenant_fill: Vec<u64>,
     registry: MetricsRegistry,
 }
 
@@ -341,6 +402,14 @@ impl ServeSim {
             totals: Vec::new(),
             read_totals: Vec::new(),
             write_totals: Vec::new(),
+            fill_cycles_total: 0,
+            bank_busy: vec![0; cfg.banks as usize],
+            tenant_requests: vec![0; cfg.clients as usize],
+            tenant_queue: vec![0; cfg.clients as usize],
+            tenant_service: vec![0; cfg.clients as usize],
+            tenant_sts: vec![0; cfg.clients as usize],
+            tenant_verify: vec![0; cfg.clients as usize],
+            tenant_fill: vec![0; cfg.clients as usize],
             registry,
             llc,
             cfg,
@@ -543,8 +612,24 @@ impl ServeSim {
             if self.llc.predicted_shift_distance(req.addr) == 0 {
                 self.zero_shift_dispatches += 1;
             }
-            let resp = self.llc.access(req.addr, kind, self.clock);
+            // Attribution: the controller accumulates shift/verify
+            // cycles inside the access; the before/after delta is this
+            // request's share (exact — the event loop is serial).
+            let before = self.llc.stats();
+            // The dispatch span id must exist before the access so the
+            // controller's plan_shift spans nest under it; its record
+            // is filled in below once the extent is known.
+            let spans = rtm_obs::global().spans();
+            let dispatch_span = spans.reserve();
+            let resp = {
+                let _parent = ParentScope::enter(dispatch_span);
+                self.llc.access(req.addr, kind, self.clock)
+            };
+            let after = self.llc.stats();
+            let shift_delta = after.shift_cycles - before.shift_cycles;
+            let verify_delta = after.verify_cycles - before.verify_cycles;
             self.bank_free_at[bank] = self.clock + resp.latency_cycles;
+            self.bank_busy[bank] += resp.latency_cycles;
             // Misses and writebacks go to memory off the bank: the
             // stripe group is free once the array access finishes,
             // MSHR-style, while the requester waits for the fill.
@@ -558,10 +643,40 @@ impl ServeSim {
             }
             let queue_delay = self.clock - req.arrival;
             let service_cycles = resp.latency_cycles;
+            let complete_at = self.clock + service_cycles + fill;
+            self.fill_cycles_total += fill;
+            let c = req.client as usize;
+            self.tenant_requests[c] += 1;
+            self.tenant_queue[c] += queue_delay;
+            self.tenant_service[c] += service_cycles;
+            self.tenant_sts[c] += shift_delta - verify_delta;
+            self.tenant_verify[c] += verify_delta;
+            self.tenant_fill[c] += fill;
+            if dispatch_span != 0 {
+                // The request's whole span tree is known now: queue and
+                // dispatch (and any fill) tile the request exactly.
+                let req_span = spans.record(0, "request", req.arrival, complete_at);
+                spans.record(req_span, "queue", req.arrival, self.clock);
+                spans.record_reserved(
+                    dispatch_span,
+                    req_span,
+                    "dispatch",
+                    self.clock,
+                    self.clock + service_cycles,
+                );
+                if fill > 0 {
+                    spans.record(
+                        req_span,
+                        "mem_fill",
+                        self.clock + service_cycles,
+                        complete_at,
+                    );
+                }
+            }
             self.in_flight.push(InFlight {
                 id: req.id,
                 client: req.client,
-                complete_at: self.clock + service_cycles + fill,
+                complete_at,
                 service_cycles,
                 total_cycles: queue_delay + service_cycles + fill,
             });
@@ -662,6 +777,24 @@ impl ServeSim {
             .gauge_set("serve.peak_queued", self.peak_queued as f64);
         self.registry
             .gauge_set("serve.peak_in_flight", self.peak_in_flight as f64);
+        let mut tenants = AttributionTable::new(["tenant"], ATTRIBUTION_COMPONENTS);
+        for c in 0..self.cfg.clients as usize {
+            let service = self.tenant_service[c];
+            let sts = self.tenant_sts[c];
+            let verify = self.tenant_verify[c];
+            tenants.push(
+                [c.to_string()],
+                [
+                    self.tenant_queue[c],
+                    sts,
+                    verify,
+                    0,
+                    service - sts - verify,
+                    self.tenant_fill[c],
+                ],
+                self.tenant_queue[c] + service + self.tenant_fill[c],
+            );
+        }
         ServeResult {
             policy: self.cfg.policy,
             requests: self.completed,
@@ -675,6 +808,9 @@ impl ServeSim {
             zero_shift_dispatches: self.zero_shift_dispatches,
             peak_queued: self.peak_queued,
             peak_in_flight: self.peak_in_flight,
+            fill_cycles: self.fill_cycles_total,
+            bank_busy_cycles: self.bank_busy,
+            tenants,
             llc: self.llc.stats(),
             metrics: self.registry.snapshot(),
         }
@@ -864,5 +1000,85 @@ mod tests {
         assert_eq!(h.count, 2_000);
         assert_eq!(r.metrics.counter("serve.dispatched"), Some(2_000));
         assert!(r.metrics.gauge("serve.peak_queued").unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn attribution_components_sum_exactly_to_total() {
+        // The cycle-attribution decomposition is exact, not within a
+        // tolerance: every dispatched cycle lands in exactly one
+        // component bucket.
+        for policy in SchedPolicy::ALL {
+            let r = run_mixed(policy, "canneal", 8_000, 4);
+            let components: u64 = r.attribution_components().iter().sum();
+            assert_eq!(components, r.attributed_total(), "{policy}");
+            assert!(
+                r.llc.verify_cycles > 0,
+                "{policy}: protected run must verify"
+            );
+            assert!(
+                r.llc.verify_cycles < r.llc.shift_cycles,
+                "{policy}: verify is a strict subset of shift work"
+            );
+        }
+    }
+
+    #[test]
+    fn tenant_table_partitions_the_run() {
+        // Per-tenant rows are an exact partition: each row's
+        // components sum to its total, and summing any column across
+        // tenants recovers the whole-run figure.
+        let r = run_mixed(SchedPolicy::ShiftAware, "ferret", 8_000, 4);
+        assert_eq!(r.tenants.cells.len(), 4);
+        assert_eq!(r.tenants.max_residual(), 0);
+        let whole = r.attribution_components();
+        for (i, name) in ATTRIBUTION_COMPONENTS.iter().enumerate() {
+            let col: u64 = r
+                .tenants
+                .cells
+                .iter()
+                .map(|c| r.tenants.component(c, name).unwrap())
+                .sum();
+            assert_eq!(col, whole[i], "component {name}");
+        }
+        let totals: u64 = r.tenants.cells.iter().map(|c| c.total).sum();
+        assert_eq!(totals, r.attributed_total());
+        // Bank busy cycles are exactly the access service cycles.
+        assert_eq!(r.bank_busy_cycles.iter().sum::<u64>(), r.service.sum);
+    }
+
+    #[test]
+    fn spans_record_the_request_tree_when_enabled() {
+        let spans = rtm_obs::global().spans();
+        spans.reset();
+        spans.set_enabled(true);
+        let r = run(SchedPolicy::Fcfs, "canneal", 200);
+        let snap = spans.snapshot();
+        spans.set_enabled(false);
+        spans.reset();
+        assert_eq!(r.requests, 200);
+        let count = |name: &str| snap.spans.iter().filter(|s| s.name == name).count();
+        assert_eq!(count("request"), 200);
+        assert_eq!(count("queue"), 200);
+        assert_eq!(count("dispatch"), 200);
+        assert!(
+            count("plan_shift") > 0,
+            "controller spans nest under dispatch"
+        );
+        // Every dispatch hangs off a request, every plan_shift off a
+        // dispatch, and children stay inside their parents' extents.
+        for s in &snap.spans {
+            if s.parent == 0 {
+                assert_eq!(s.name, "request", "roots are requests");
+                continue;
+            }
+            let p = snap.get(s.parent).expect("parent retained");
+            assert!(s.start_cycle >= p.start_cycle && s.end_cycle <= p.end_cycle);
+            match s.name.as_str() {
+                "queue" | "dispatch" | "mem_fill" => assert_eq!(p.name, "request"),
+                "plan_shift" => assert_eq!(p.name, "dispatch"),
+                "sts_pulse" | "pecc_verify" => assert_eq!(p.name, "plan_shift"),
+                other => panic!("unexpected span {other}"),
+            }
+        }
     }
 }
