@@ -6,19 +6,48 @@
 //! statistic (wall times excluded — they are measurements, not model
 //! output) differs between the two runs.
 //!
+//! A second section measures the serving layer's *host* throughput in
+//! requests per second: the discrete-event loop ([`ServeSim`], the
+//! scheduling-fidelity path), the coarse-lock baseline
+//! ([`rtm_serve::run_mutex`]) and the lock-free per-bank lane path
+//! ([`rtm_serve::run_parallel`]) at 1/2/4/8 worker threads, on the
+//! same pre-generated traces (generation is outside the timed region
+//! for every mode). With `--check` the lane and mutex paths are
+//! additionally gated on bit-identity with their serial oracle, and
+//! `--min-speedup X` fails the run unless the 8-thread lane path beats
+//! the event loop by at least `X` on every workload. (The event loop
+//! is the stricter denominator on a small host: the giant-lock path
+//! only collapses under real core-level contention, while the event
+//! loop's per-request scheduling work is paid everywhere.)
+//!
 //! ```text
 //! cargo run --release -p rtm-bench --bin bench-serve
 //! cargo run --release -p rtm-bench --bin bench-serve -- \
-//!     --quick --check --threads 8 --out BENCH_serve.json
+//!     --quick --check --threads 8 --min-speedup 5 --out BENCH_serve.json
 //! ```
 
 use rtm_obs::json::Json;
-use rtm_serve::{SchedPolicy, ServeConfig, ServeResult, ServeSim};
-use rtm_trace::{MixedTraceGenerator, WorkloadProfile};
+use rtm_serve::{
+    run_mutex, run_oracle, run_parallel, SchedPolicy, ServeConfig, ServeResult, ServeSim,
+    ServeStats, ThroughputConfig,
+};
+use rtm_trace::{MemAccess, MixedTraceGenerator, WorkloadProfile};
 use std::time::Instant;
 
 /// Tenants per workload mix (matches the `serve` experiment).
 const TENANTS: usize = 4;
+
+/// Worker-thread ladder of the lane-path throughput section.
+const THREAD_LADDER: [u32; 4] = [1, 2, 4, 8];
+
+/// Timed repetitions per throughput point (fastest wall time wins, so
+/// a scheduler hiccup cannot fail the gate).
+const REPS: usize = 3;
+
+/// Requests per workload in the throughput section — independent of
+/// the matrix size so `--quick` still measures long enough runs to
+/// amortise worker spawn and directory construction.
+const TP_REQUESTS: u64 = 100_000;
 
 struct Cell {
     policy: SchedPolicy,
@@ -62,11 +91,88 @@ fn run_matrix(workloads: &[&'static str], requests: u64, threads: usize) -> Vec<
         .collect()
 }
 
+/// Pre-generates one workload's trace so trace synthesis is outside
+/// every timed region (both the event-loop and the lane path consume
+/// the identical, already-materialised request stream).
+fn gen_trace(workload: &str, requests: u64) -> Vec<MemAccess> {
+    let p = WorkloadProfile::by_name(workload).expect("known workload");
+    let seed = rtm_util::rng::derive_seed(2015, seed_of(workload));
+    MixedTraceGenerator::new(&vec![p; TENANTS], seed)
+        .take(requests as usize)
+        .collect()
+}
+
+/// Times the discrete-event scheduling path (saturating drive, FCFS)
+/// over a pre-generated trace. Fastest of [`REPS`] runs.
+fn time_event_loop(trace: &[MemAccess]) -> (f64, ServeResult) {
+    let mut best: Option<(f64, ServeResult)> = None;
+    for _ in 0..REPS {
+        let cfg = ServeConfig::new(SchedPolicy::Fcfs)
+            .with_paced(false)
+            .with_requests(trace.len() as u64);
+        let mut source = trace.iter().copied();
+        let start = Instant::now();
+        let result = ServeSim::new(cfg).run(&mut source);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
+            best = Some((wall_ms, result));
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+/// Queue capacity for the timed paths: sized to the whole trace so the
+/// front end never blocks on backpressure and the measurement is pure
+/// data-path throughput, even when the host has fewer cores than
+/// workers. Both the lane and the mutex path get the same depth.
+fn deep_rings(trace: &[MemAccess], threads: u32) -> ThroughputConfig {
+    ThroughputConfig::new()
+        .with_threads(threads)
+        .with_ring_capacity(trace.len().next_power_of_two())
+}
+
+/// Times the lock-free lane path at a worker-thread count. Fastest of
+/// [`REPS`] runs.
+fn time_lane(trace: &[MemAccess], threads: u32) -> (f64, ServeStats) {
+    let mut best: Option<(f64, ServeStats)> = None;
+    for _ in 0..REPS {
+        let cfg = deep_rings(trace, threads);
+        let start = Instant::now();
+        let stats = run_parallel(cfg, trace);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
+            best = Some((wall_ms, stats));
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+/// Times the coarse-lock baseline at a worker-thread count. Fastest of
+/// [`REPS`] runs.
+fn time_mutex(trace: &[MemAccess], threads: u32) -> (f64, ServeStats) {
+    let mut best: Option<(f64, ServeStats)> = None;
+    for _ in 0..REPS {
+        let cfg = deep_rings(trace, threads);
+        let start = Instant::now();
+        let stats = run_mutex(cfg, trace);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if best.as_ref().is_none_or(|(b, _)| wall_ms < *b) {
+            best = Some((wall_ms, stats));
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+fn rps(requests: usize, wall_ms: f64) -> f64 {
+    requests as f64 / (wall_ms / 1e3)
+}
+
 fn main() {
     let mut quick = false;
     let mut check = false;
     let mut out = std::path::PathBuf::from("BENCH_serve.json");
     let mut threads = rtm_par::available_parallelism();
+    let mut min_speedup: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -91,9 +197,23 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--min-speedup" => {
+                min_speedup = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&x: &f64| x > 0.0)
+                        .unwrap_or_else(|| {
+                            eprintln!("error: --min-speedup needs a positive factor");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             other => {
                 eprintln!("error: unknown flag {other}");
-                eprintln!("usage: bench-serve [--quick] [--check] [--threads N] [--out file.json]");
+                eprintln!(
+                    "usage: bench-serve [--quick] [--check] [--threads N] \
+                     [--min-speedup X] [--out file.json]"
+                );
                 std::process::exit(2);
             }
         }
@@ -158,7 +278,111 @@ fn main() {
         );
     }
 
-    let rows: Vec<Json> = cells
+    // ---- Host-throughput section: event loop vs lock-free lane path.
+    eprintln!(
+        "throughput: event loop vs lane path on pre-generated traces \
+         ({} workloads x {:?} threads x {TP_REQUESTS} requests, best of {REPS})...",
+        workloads.len(),
+        THREAD_LADDER
+    );
+    let mut tp_rows: Vec<Json> = Vec::new();
+    let mut worst_speedup: Option<(f64, &str)> = None;
+    for w in &workloads {
+        let trace = gen_trace(w, TP_REQUESTS);
+        if check {
+            // The parallel lane path must be bit-identical to its
+            // serial oracle at every thread count before its wall
+            // clock means anything.
+            let oracle = run_oracle(ThroughputConfig::new(), &trace);
+            for t in THREAD_LADDER {
+                let par = run_parallel(ThroughputConfig::new().with_threads(t), &trace);
+                if par != oracle {
+                    eprintln!(
+                        "ORACLE REGRESSION: {w}: {t}-thread lane stats \
+                         diverge from the serial oracle"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            let mux = run_mutex(ThroughputConfig::new().with_threads(8), &trace);
+            if mux != oracle {
+                eprintln!(
+                    "ORACLE REGRESSION: {w}: 8-thread mutex-path stats \
+                     diverge from the serial oracle"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "oracle check: {w}: lane path identical to oracle at \
+                 {THREAD_LADDER:?}, mutex path at 8"
+            );
+        }
+        let (base_ms, base) = time_event_loop(&trace);
+        let base_rps = rps(trace.len(), base_ms);
+        tp_rows.push(Json::obj(vec![
+            ("mode", Json::Str("event-loop".to_string())),
+            ("workload", Json::Str(w.to_string())),
+            ("threads", Json::Str("1".to_string())),
+            ("wall_ms", Json::Num(base_ms)),
+            ("throughput_req_per_sec", Json::Num(base_rps)),
+            ("requests", Json::Num(base.requests as f64)),
+            ("cycles", Json::Num(base.cycles as f64)),
+            ("service_p99", Json::Num(base.service.p99 as f64)),
+        ]));
+        let mut line = format!("{w}: event-loop {base_rps:.0} req/s; lane");
+        for t in THREAD_LADDER {
+            let (mux_ms, _) = time_mutex(&trace, t);
+            let mux_rps = rps(trace.len(), mux_ms);
+            tp_rows.push(Json::obj(vec![
+                ("mode", Json::Str("mutex".to_string())),
+                ("workload", Json::Str(w.to_string())),
+                ("threads", Json::Str(t.to_string())),
+                ("wall_ms", Json::Num(mux_ms)),
+                ("throughput_req_per_sec", Json::Num(mux_rps)),
+                ("speedup", Json::Num(mux_rps / base_rps)),
+            ]));
+            let (ms, stats) = time_lane(&trace, t);
+            let lane_rps = rps(trace.len(), ms);
+            let speedup = lane_rps / base_rps;
+            line += &format!(" {t}T {lane_rps:.0} ({speedup:.1}x)");
+            tp_rows.push(Json::obj(vec![
+                ("mode", Json::Str("lane".to_string())),
+                ("workload", Json::Str(w.to_string())),
+                ("threads", Json::Str(t.to_string())),
+                ("wall_ms", Json::Num(ms)),
+                ("throughput_req_per_sec", Json::Num(lane_rps)),
+                ("speedup", Json::Num(speedup)),
+                ("speedup_vs_mutex", Json::Num(lane_rps / mux_rps)),
+                ("requests", Json::Num(stats.requests as f64)),
+                ("makespan_cycles", Json::Num(stats.makespan_cycles as f64)),
+                ("service_p99", Json::Num(stats.service.p99 as f64)),
+                ("fused_dispatches", Json::Num(stats.fused_dispatches as f64)),
+                (
+                    "batch_saved_cycles",
+                    Json::Num(stats.batch_saved_cycles as f64),
+                ),
+            ]));
+            if t == *THREAD_LADDER.last().unwrap() && worst_speedup.is_none_or(|(s, _)| speedup < s)
+            {
+                worst_speedup = Some((speedup, w));
+            }
+        }
+        eprintln!("{line}");
+    }
+    if let Some(min) = min_speedup {
+        let (speedup, w) = worst_speedup.expect("ladder ran");
+        if speedup < min {
+            eprintln!(
+                "THROUGHPUT REGRESSION: lane path at {}T is only {speedup:.2}x \
+                 the event loop on {w} (gate: {min}x)",
+                THREAD_LADDER.last().unwrap()
+            );
+            std::process::exit(1);
+        }
+        eprintln!("throughput gate: worst 8-thread lane speedup {speedup:.2}x ({w}) >= {min}x");
+    }
+
+    let mut rows: Vec<Json> = cells
         .iter()
         .map(|c| {
             let r = &c.result;
@@ -192,6 +416,7 @@ fn main() {
             ])
         })
         .collect();
+    rows.append(&mut tp_rows);
     let mut doc = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-serve/v1".to_string())),
         ("threads", Json::Num(threads as f64)),

@@ -101,7 +101,10 @@ fn identity_label(id: &[(String, String)]) -> String {
 
 /// Wall-clock measurements vary run to run; only model output gates.
 fn is_measurement(field: &str) -> bool {
-    field == "wall_ms" || field.starts_with("secs_") || field == "speedup"
+    field == "wall_ms"
+        || field.starts_with("secs_")
+        || field.starts_with("speedup")
+        || field == "throughput_req_per_sec"
 }
 
 fn compare(old_path: &str, new_path: &str, max_regress: f64) -> i32 {

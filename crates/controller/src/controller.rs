@@ -67,6 +67,20 @@ impl ShiftPlan {
     }
 }
 
+/// A batched shift command stream: one STS setup, N entries. Produced
+/// by [`ShiftController::plan_shift_batch`] when the serving layer
+/// coalesces consecutive same-stripe-group requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPlan {
+    /// Per-entry plans, in stream order; entries after the first are
+    /// continuations (their first sub-shift pays no stage-2 settle).
+    pub plans: Vec<ShiftPlan>,
+    /// End-to-end latency of the stream.
+    pub latency: Cycles,
+    /// Total cycles saved versus planning every entry standalone.
+    pub saved_cycles: u64,
+}
+
 /// Running statistics the controller maintains.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ControllerStats {
@@ -80,6 +94,11 @@ pub struct ControllerStats {
     pub shift_cycles: u64,
     /// p-ECC checks performed.
     pub checks: u64,
+    /// Requests served as batch continuations (STS driver already
+    /// armed by the preceding request of the same stream).
+    pub batched_requests: u64,
+    /// Cycles saved by batching: one stage-2 settle per continuation.
+    pub batch_saved_cycles: u64,
     /// Accumulated DUE probability (sums to expected DUE count).
     pub expected_dues: f64,
     /// Accumulated SDC probability.
@@ -98,6 +117,8 @@ impl ControllerStats {
         reg.counter_add("controller.steps", self.steps);
         reg.counter_add("controller.shift_cycles", self.shift_cycles);
         reg.counter_add("controller.checks", self.checks);
+        reg.counter_add("controller.batched_requests", self.batched_requests);
+        reg.counter_add("controller.batch_saved_cycles", self.batch_saved_cycles);
         reg.gauge_set("controller.expected_dues", self.expected_dues);
         reg.gauge_set("controller.expected_sdcs", self.expected_sdcs);
         reg.snapshot()
@@ -180,6 +201,55 @@ impl ShiftController {
     ///
     /// Panics if `distance == 0` or exceeds the planning table.
     pub fn plan_shift(&mut self, distance: u32, now_cycles: u64) -> ShiftPlan {
+        self.plan_distance(distance, now_cycles, false)
+    }
+
+    /// Plans a shift that *continues* a batched command stream: the
+    /// directly preceding request on this controller keeps the STS
+    /// driver armed, so this transaction's first sub-shift skips the
+    /// stage-2 settle ([`StsTiming::setup_cycles`] cheaper than a
+    /// standalone [`Self::plan_shift`]). Sequence selection, p-ECC
+    /// checks and risk accounting are *identical* to the standalone
+    /// plan — batching buys latency, never safety.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0` or exceeds the planning table.
+    pub fn plan_shift_continuation(&mut self, distance: u32, now_cycles: u64) -> ShiftPlan {
+        self.plan_distance(distance, now_cycles, true)
+    }
+
+    /// Plans a whole batched shift command stream: the first entry is
+    /// a standalone plan (pays the STS setup), every later entry a
+    /// continuation, with time advancing by each plan's latency so the
+    /// interval adapter sees the true back-to-back spacing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distances` is empty or any entry is zero.
+    pub fn plan_shift_batch(&mut self, distances: &[u32], now_cycles: u64) -> BatchPlan {
+        assert!(!distances.is_empty(), "a batch needs at least one shift");
+        let mut plans = Vec::with_capacity(distances.len());
+        let mut t = now_cycles;
+        let mut saved = 0u64;
+        for (i, &d) in distances.iter().enumerate() {
+            let plan = if i == 0 {
+                self.plan_shift(d, t)
+            } else {
+                saved += self.timing.setup_cycles().count();
+                self.plan_shift_continuation(d, t)
+            };
+            t += plan.latency.count();
+            plans.push(plan);
+        }
+        BatchPlan {
+            latency: Cycles(t - now_cycles),
+            saved_cycles: saved,
+            plans,
+        }
+    }
+
+    fn plan_distance(&mut self, distance: u32, now_cycles: u64, fused: bool) -> ShiftPlan {
         assert!(distance > 0, "zero-distance shifts are no-ops");
         let interval = match self.last_shift_at {
             Some(prev) => now_cycles.saturating_sub(prev),
@@ -203,7 +273,16 @@ impl ShiftController {
             }
             (_, ShiftPolicy::Adaptive) => self.table.select(distance, interval).sequence.clone(),
         };
-        let plan = self.cost_sequence(&sequence);
+        let mut plan = self.cost_sequence(&sequence);
+        if fused {
+            // The armed driver skips one stage-2 settle on the first
+            // sub-shift. Checks and risk stay as costed: batching
+            // shortens latency, never weakens the safety argument.
+            let saved = self.timing.setup_cycles().count();
+            plan.latency = Cycles(plan.latency.count() - saved);
+            self.stats.batched_requests += 1;
+            self.stats.batch_saved_cycles += saved;
+        }
         self.stats.requests += 1;
         self.stats.operations += plan.sequence.len() as u64;
         self.stats.steps += distance as u64;
@@ -211,13 +290,16 @@ impl ShiftController {
         self.stats.checks += plan.checks as u64;
         self.stats.expected_dues += plan.due_risk;
         self.stats.expected_sdcs += plan.sdc_risk;
-        self.record_observability(distance, &plan, now_cycles);
+        self.record_observability(distance, &plan, now_cycles, fused);
         plan
     }
 
     /// Emits the transaction into the global observer. No-ops (one
     /// relaxed atomic load each) when metrics/tracing are disabled.
-    fn record_observability(&self, distance: u32, plan: &ShiftPlan, now_cycles: u64) {
+    /// `fused` marks a batch continuation, whose *first* pulse is the
+    /// stage-1-only continuation pulse — the span/trace walk shortens
+    /// that pulse so children still tile the plan's latency exactly.
+    fn record_observability(&self, distance: u32, plan: &ShiftPlan, now_cycles: u64, fused: bool) {
         let obs = rtm_obs::global();
         let reg = obs.registry();
         if reg.enabled() {
@@ -228,6 +310,13 @@ impl ShiftController {
             if plan.sequence.len() > 1 {
                 reg.counter_add("shift.split.count", 1);
             }
+            if fused {
+                reg.counter_add("shift.batch.continuations", 1);
+                reg.counter_add(
+                    "shift.batch.saved_cycles",
+                    self.timing.setup_cycles().count(),
+                );
+            }
             reg.observe("shift.latency_cycles", plan.latency.count() as f64);
             reg.observe_with(
                 "shift.distance",
@@ -236,6 +325,13 @@ impl ShiftController {
             );
         }
         let protected = plan.checks > 0;
+        let pulse_cycles = |idx: usize, d: u32| {
+            if fused && idx == 0 {
+                self.timing.continuation_shift_cycles(d).count()
+            } else {
+                self.timing.shift_cycles(d).count()
+            }
+        };
         let spans = obs.spans();
         if spans.enabled() {
             // The whole transaction nests under whatever span the
@@ -249,8 +345,8 @@ impl ShiftController {
                 now_cycles + plan.latency.count(),
             );
             let mut t = now_cycles;
-            for &d in &plan.sequence {
-                let cycles = self.timing.shift_cycles(d).count();
+            for (i, &d) in plan.sequence.iter().enumerate() {
+                let cycles = pulse_cycles(i, d);
                 spans.record(plan_span, "sts_pulse", t, t + cycles);
                 t += cycles;
                 if protected {
@@ -286,8 +382,8 @@ impl ShiftController {
             // corrected/uncorrectable verdicts come from the
             // bit-accurate injection layer.
             let mut t = now_cycles;
-            for &d in &plan.sequence {
-                let cycles = self.timing.shift_cycles(d).count();
+            for (i, &d) in plan.sequence.iter().enumerate() {
+                let cycles = pulse_cycles(i, d);
                 trace.record(
                     t,
                     ShiftEvent::StsPulse {
@@ -562,6 +658,62 @@ mod tests {
     }
 
     #[test]
+    fn continuation_saves_exactly_the_setup() {
+        // Prime both controllers identically, then serve the same
+        // request standalone vs as a batch continuation: the
+        // continuation is cheaper by exactly one stage-2 settle and
+        // identical in sequence, checks and risk.
+        let mut standalone = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut fused = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        standalone.plan_shift(5, 0);
+        fused.plan_shift(5, 0);
+        let a = standalone.plan_shift(7, 40);
+        let b = fused.plan_shift_continuation(7, 40);
+        let setup = StsTiming::paper().setup_cycles().count();
+        assert_eq!(a.sequence, b.sequence);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.due_risk, b.due_risk);
+        assert_eq!(a.sdc_risk, b.sdc_risk);
+        assert_eq!(a.latency.count(), b.latency.count() + setup);
+        assert_eq!(fused.stats().batched_requests, 1);
+        assert_eq!(fused.stats().batch_saved_cycles, setup);
+        assert_eq!(standalone.stats().batched_requests, 0);
+    }
+
+    #[test]
+    fn batch_amortises_one_setup_per_continuation() {
+        let mut batched = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut serial = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let batch = batched.plan_shift_batch(&[3, 3, 3], 100);
+        // Replay the same stream without fusion, at the stream's own
+        // (longer) timestamps so the interval adapter is no laxer.
+        let mut t = 100u64;
+        let mut serial_latency = 0u64;
+        for plan in &batch.plans {
+            let p = serial.plan_shift(plan.distance(), t);
+            t += plan.latency.count();
+            serial_latency += p.latency.count();
+        }
+        let setup = StsTiming::paper().setup_cycles().count();
+        assert_eq!(batch.plans.len(), 3);
+        assert_eq!(batch.saved_cycles, 2 * setup);
+        assert_eq!(batch.latency.count(), serial_latency - batch.saved_cycles);
+        assert_eq!(batched.stats().requests, 3);
+        assert_eq!(batched.stats().batched_requests, 2);
+        // Safety accounting is identical to the unfused replay.
+        assert_eq!(batched.stats().checks, serial.stats().checks);
+        assert_eq!(batched.stats().expected_dues, serial.stats().expected_dues);
+        assert_eq!(batched.stats().expected_sdcs, serial.stats().expected_sdcs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_batch_rejected() {
+        let mut ctl = ShiftController::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let _ = ctl.plan_shift_batch(&[], 0);
+    }
+
+    #[test]
     fn plan_spans_tile_the_transaction_exactly() {
         // The span trace is process-global; this is the only test in
         // the crate that enables it, and it scopes its assertions to
@@ -592,6 +744,25 @@ mod tests {
             .map(|c| c.duration())
             .sum();
         assert_eq!(verify_sum, plan.checks as u64 * PECC_CHECK_CYCLES);
+        spans.reset();
+
+        // Fused continuations must tile too: the first pulse span is
+        // the stage-1-only continuation pulse, so children still sum
+        // to the (shorter) plan latency with zero self time.
+        spans.set_enabled(true);
+        let fused = ctl.plan_shift_continuation(5, 2_000);
+        spans.set_enabled(false);
+        let snap = spans.snapshot();
+        let fused_span = snap
+            .spans
+            .iter()
+            .find(|s| s.name == "plan_shift" && s.start_cycle == 2_000)
+            .expect("fused plan_shift span recorded");
+        assert_eq!(fused_span.duration(), fused.latency.count());
+        let children = snap.children_of(fused_span.id);
+        let child_sum: u64 = children.iter().map(|c| c.duration()).sum();
+        assert_eq!(child_sum, fused.latency.count());
+        assert_eq!(snap.self_cycles(fused_span), 0);
         spans.reset();
     }
 }

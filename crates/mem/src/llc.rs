@@ -242,7 +242,13 @@ impl RacetrackLlc {
         assert!(banks > 0, "at least one bank required");
         let design = LlcDesign::racetrack();
         let geometry = StripeGeometry::paper_default();
-        let cache = Cache::new(design.capacity_bytes, 16, 64);
+        // Bank-major directory storage: each bank's (4-set-per-group,
+        // round-robin-interleaved) sets become one contiguous slice, so
+        // a per-bank serving worker touches — and faults in — only its
+        // own banks' share of the arrays.
+        let sets_per_group = geometry.data_len() as u32 / 16;
+        let cache =
+            Cache::new(design.capacity_bytes, 16, 64).with_bank_layout(banks, sets_per_group);
         let lines = design.capacity_bytes / 64;
         let groups = lines / geometry.data_len() as u64;
         Self {
@@ -331,6 +337,18 @@ impl RacetrackLlc {
         &self.controllers[0]
     }
 
+    /// The shift controller of a specific bank. The per-bank serving
+    /// path reads these directly so bank-sharded results can be merged
+    /// in bank order, reproducing [`Self::controller_totals`]'s exact
+    /// floating-point summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank >= self.banks()`.
+    pub fn controller_at(&self, bank: usize) -> &ShiftController {
+        &self.controllers[bank]
+    }
+
     /// Aggregated controller statistics across all banks.
     fn controller_totals(&self) -> rtm_controller::controller::ControllerStats {
         let mut total = rtm_controller::controller::ControllerStats::default();
@@ -341,6 +359,8 @@ impl RacetrackLlc {
             total.steps += s.steps;
             total.shift_cycles += s.shift_cycles;
             total.checks += s.checks;
+            total.batched_requests += s.batched_requests;
+            total.batch_saved_cycles += s.batch_saved_cycles;
             total.expected_dues += s.expected_dues;
             total.expected_sdcs += s.expected_sdcs;
         }
@@ -421,7 +441,11 @@ impl RacetrackLlc {
 
     /// Positions the group's head for `domain`, issuing a shift through
     /// the controller if needed. Returns the shift latency in cycles.
-    fn position_head(&mut self, group: usize, domain: usize, now: u64) -> u64 {
+    /// `fused` marks a batched-stream continuation: the bank's STS
+    /// driver is still armed from the directly preceding request, so
+    /// the shift is planned via
+    /// [`ShiftController::plan_shift_continuation`].
+    fn position_head(&mut self, group: usize, domain: usize, now: u64, fused: bool) -> u64 {
         let target = self.geometry.head_position_for(domain) as u8;
         let current = self.heads[group];
         let latency = if target == current {
@@ -431,7 +455,11 @@ impl RacetrackLlc {
         } else {
             let distance = current.abs_diff(target) as u32;
             let bank = group % self.controllers.len();
-            let plan = self.controllers[bank].plan_shift(distance, now);
+            let plan = if fused {
+                self.controllers[bank].plan_shift_continuation(distance, now)
+            } else {
+                self.controllers[bank].plan_shift(distance, now)
+            };
             self.stats_shift_ops += plan.sequence.len() as u64;
             self.stats_shift_steps += distance as u64;
             let latency = if self.ideal_shifts {
@@ -481,14 +509,24 @@ impl RacetrackLlc {
             self.heads[group] = rest;
         }
     }
-}
 
-impl LlcModel for RacetrackLlc {
-    fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> LlcResponse {
+    /// [`LlcModel::access`] with explicit stream fusion: `fused = true`
+    /// marks this access as a continuation of a batched shift command
+    /// stream on its bank (the directly preceding access kept the STS
+    /// driver armed), so a required shift skips its stage-2 settle.
+    /// `access_fused(addr, kind, now, false)` is exactly
+    /// [`LlcModel::access`].
+    pub fn access_fused(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        now: u64,
+        fused: bool,
+    ) -> LlcResponse {
         let set = self.cache.set_of(addr);
         let r = self.cache.access(addr, kind);
         let (group, domain) = self.slot_to_group_domain(set, r.way());
-        let shift_latency = self.position_head(group, domain, now);
+        let shift_latency = self.position_head(group, domain, now, fused);
         let array = match kind {
             AccessKind::Read => self.design.read_cycles,
             AccessKind::Write => self.design.write_cycles,
@@ -516,6 +554,12 @@ impl LlcModel for RacetrackLlc {
             reg.observe("llc.access_latency_cycles", resp.latency_cycles as f64);
         }
         resp
+    }
+}
+
+impl LlcModel for RacetrackLlc {
+    fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> LlcResponse {
+        self.access_fused(addr, kind, now, false)
     }
 
     fn stats(&self) -> LlcStats {
@@ -595,6 +639,32 @@ mod tests {
         let stride = llc.cache.sets() * 64;
         llc.access(0x40 + stride, AccessKind::Read, 10);
         assert!(llc.stats().shift_steps > before);
+    }
+
+    #[test]
+    fn fused_access_saves_exactly_the_sts_setup() {
+        let mut plain = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let mut fused = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let stride = plain.cache.sets() * 64;
+        plain.access(0x40, AccessKind::Read, 0);
+        fused.access(0x40, AccessKind::Read, 0);
+        // Same shifting access on both, one as a stream continuation:
+        // only the stage-2 settle differs, nothing else.
+        let a = plain.access_fused(0x40 + stride, AccessKind::Read, 10, false);
+        let b = fused.access_fused(0x40 + stride, AccessKind::Read, 10, true);
+        let setup = rtm_model::sts::StsTiming::paper().setup_cycles().count();
+        assert_eq!(a.hit, b.hit);
+        assert_eq!(a.latency_cycles, b.latency_cycles + setup);
+        let (sa, sb) = (plain.stats(), fused.stats());
+        assert_eq!(sa.shift_steps, sb.shift_steps);
+        assert_eq!(sa.shift_ops, sb.shift_ops);
+        assert_eq!(sa.verify_cycles, sb.verify_cycles);
+        assert_eq!(sa.expected_dues, sb.expected_dues);
+        assert_eq!(sa.shift_cycles, sb.shift_cycles + setup);
+        // A fused access that needs no shift is identical to a plain
+        // hit (nothing to fuse).
+        let c = fused.access_fused(0x40 + stride, AccessKind::Read, 50, true);
+        assert_eq!(c.latency_cycles, fused.design().read_cycles);
     }
 
     #[test]

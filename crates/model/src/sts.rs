@@ -61,6 +61,31 @@ impl StsTiming {
         Cycles(stage1 + stage2)
     }
 
+    /// The fixed per-shift setup cost in cycles — the stage-2
+    /// sub-threshold pulse (`ceil(stage2 / cycle)`, 2 cycles at the
+    /// paper's timing). A burst of back-to-back shifts that keeps the
+    /// STS driver armed pays this once per *stream*, not once per
+    /// sub-shift: that is exactly what the serving layer's batched
+    /// shift command streams amortise (each continuation entry pays
+    /// only its stage-1 time).
+    pub fn setup_cycles(&self) -> Cycles {
+        Cycles((self.stage2_ns / self.cycle_ns()).ceil() as u64)
+    }
+
+    /// Latency of an `n`-step STS shift when the driver is already
+    /// armed by a directly preceding shift in the same batched stream:
+    /// only stage 1 is paid (minimum 1 cycle), the stream's single
+    /// stage-2 settle having been paid by its first entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn continuation_shift_cycles(&self, n: u32) -> Cycles {
+        assert!(n > 0, "a shift must move at least one step");
+        let cyc = self.cycle_ns();
+        Cycles((self.stage1_ns_per_step * n as f64 / cyc).ceil().max(1.0) as u64)
+    }
+
     /// Latency of an `n`-step *raw* (no STS) shift in cycles — the
     /// unprotected baseline pays only stage 1.
     ///
@@ -146,6 +171,22 @@ mod tests {
         let per_step = |n: u32| t.shift_cycles(n).count() as f64 / n as f64;
         assert!(per_step(7) < per_step(4));
         assert!(per_step(4) < per_step(1));
+    }
+
+    #[test]
+    fn setup_is_the_stage2_settle() {
+        let t = StsTiming::paper();
+        assert_eq!(t.setup_cycles(), Cycles(2));
+        // A continuation entry pays exactly shift minus setup: the
+        // armed driver skips its stage-2 settle.
+        for n in 1..=16u32 {
+            assert_eq!(
+                t.continuation_shift_cycles(n).count() + t.setup_cycles().count(),
+                t.shift_cycles(n).count(),
+                "n = {n}"
+            );
+        }
+        assert_eq!(t.continuation_shift_cycles(1), Cycles(1));
     }
 
     #[test]

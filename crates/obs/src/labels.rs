@@ -13,12 +13,15 @@
 //! Label sets are **interned per shard**: a caller canonicalises its
 //! labels once (at setup, or per cell — not per event) via
 //! [`LabeledMetrics::intern`] and receives a copyable [`LabelId`].
-//! The hot recording path then costs exactly what the flat registry
-//! costs — one relaxed atomic load for the enabled gate, an FNV hash,
-//! and one short-lived shard `Mutex` — with no per-event allocation or
-//! label sorting. Shards are picked by the *label set* (not the metric
-//! name), so the interned id also names its shard and a recording call
-//! locks only that shard.
+//! Re-interning an already known set is lock-free: each shard keeps a
+//! read-mostly [`RcuCell`] snapshot of its canonical-key → id index,
+//! so the lookup is an atomic pointer load plus a binary search, and
+//! the shard `Mutex` is taken only on a genuine miss (first sighting
+//! of a label set). The hot recording path costs one relaxed atomic
+//! load for the enabled gate, an FNV hash, and one short-lived shard
+//! `Mutex` — with no per-event allocation or label sorting. Shards are
+//! picked by the *label set* (not the metric name), so the interned id
+//! also names its shard and a recording call locks only that shard.
 //!
 //! The `*_with` convenience methods intern on every call; they are for
 //! cold paths (per-run summaries), not per-event instrumentation.
@@ -26,6 +29,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
+
+use rtm_par::rcu::RcuCell;
 
 use crate::json::Json;
 use crate::metrics::{
@@ -79,6 +84,10 @@ fn canonical(labels: &[(&str, &str)]) -> (String, Vec<(String, String)>) {
 pub struct LabeledMetrics {
     enabled: AtomicBool,
     shards: [Mutex<LabelShard>; SHARD_COUNT],
+    /// Per-shard read-mostly copy of the canonical-key → id index, so
+    /// re-interning a known label set never takes the shard mutex.
+    /// Writers (inside the shard mutex) publish a fresh sorted copy.
+    intern_index: [RcuCell<Vec<(String, u32)>>; SHARD_COUNT],
 }
 
 impl Default for LabeledMetrics {
@@ -86,6 +95,7 @@ impl Default for LabeledMetrics {
         Self {
             enabled: AtomicBool::new(false),
             shards: std::array::from_fn(|_| Mutex::new(LabelShard::default())),
+            intern_index: std::array::from_fn(|_| RcuCell::new(Vec::new())),
         }
     }
 }
@@ -114,13 +124,36 @@ impl LabeledMetrics {
     pub fn intern(&self, labels: &[(&str, &str)]) -> LabelId {
         let (key, pairs) = canonical(labels);
         let shard = (fnv1a(&key) % SHARD_COUNT as u64) as u8;
+        // Lock-free fast path: a known set is found in the shard's
+        // published index without touching the mutex.
+        {
+            let index = self.intern_index[shard as usize].read();
+            if let Ok(i) = index.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+                return LabelId {
+                    shard,
+                    idx: index[i].1,
+                };
+            }
+        }
         let mut inner = self.shard(shard as usize);
+        // Re-check under the mutex: another thread may have interned
+        // this set between our index read and the lock.
         if let Some(&idx) = inner.interned.get(&key) {
             return LabelId { shard, idx };
         }
         let idx = inner.sets.len() as u32;
         inner.interned.insert(key, idx);
         inner.sets.push(pairs);
+        // Publish a fresh index copy; the shard mutex serialises
+        // writers, and the BTreeMap iterates in key order, so the copy
+        // is already sorted for the binary search above.
+        self.intern_index[shard as usize].replace(
+            inner
+                .interned
+                .iter()
+                .map(|(k, &i)| (k.clone(), i))
+                .collect(),
+        );
         LabelId { shard, idx }
     }
 

@@ -3,10 +3,14 @@
 //! The registry is designed for hot simulation loops: when disabled
 //! (the default) every recording call is a single relaxed atomic load,
 //! so instrumented code pays essentially nothing in uninstrumented
-//! runs. When enabled, each update takes a short-lived `Mutex` around
-//! one of [`SHARD_COUNT`] name-hashed map shards, so sweep workers on
-//! the `rtm-par` pool contend only when they update metrics whose
-//! names hash to the same shard.
+//! runs. When enabled, the *read* path is lock-free: the name index is
+//! an [`RcuCell`] snapshot (a sorted `Vec` of `(name, Arc<cell>)`
+//! pairs, binary-searched per call) and every metric cell is plain
+//! atomics, so recording an existing metric takes one atomic pointer
+//! load, a short binary search, and one atomic RMW — no mutex, no
+//! allocation. Only *creating* a metric (first recording under a new
+//! name) serialises on a writer mutex, which copies the index,
+//! inserts, and atomically swaps the new snapshot in.
 //!
 //! # Orderings audit (multi-worker case)
 //!
@@ -14,13 +18,23 @@
 //! it is a sampling gate, not a synchronization edge. A worker that
 //! reads a stale `false` skips one recording near the moment the flag
 //! flipped — acceptable, because callers enable recording before
-//! spawning workers and snapshot after joining them. All metric *data*
-//! lives behind the shard mutexes, whose lock/unlock provide the
-//! acquire/release edges, so no recorded update can be torn or lost.
+//! spawning workers and snapshot after joining them.
+//!
+//! The index is published with `Release` and read with `Acquire` (the
+//! `RcuCell` contract), so a reader that finds a cell always sees its
+//! fully initialised state. Cell *updates* are `Relaxed` atomic RMWs:
+//! RMWs cannot lose increments regardless of ordering, and snapshot
+//! visibility is provided by the caller's join edge (the sweep drivers
+//! snapshot after joining their workers), exactly the contract the old
+//! mutex-sharded implementation documented. Gauge/histogram `f64`
+//! state is stored as bit patterns in `AtomicU64` and combined with
+//! compare-exchange loops, so concurrent `gauge_add`/`observe` calls
+//! are lossless too.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rtm_par::rcu::RcuCell;
 
 use crate::json::Json;
 
@@ -81,19 +95,14 @@ impl Hist {
     }
 }
 
-/// Number of independently locked map shards in a registry. Sixteen
-/// comfortably exceeds the worker counts the `rtm-par` pool spawns on
-/// typical hosts, so two workers rarely queue on the same lock.
+/// Number of independently locked shards in a [`crate::labels::LabeledMetrics`]
+/// registry. Sixteen comfortably exceeds the worker counts the
+/// `rtm-par` pool spawns on typical hosts, so two workers rarely queue
+/// on the same lock.
 pub const SHARD_COUNT: usize = 16;
 
-/// FNV-1a over the metric name picks the shard; names are stable, so a
-/// metric always lives in the same shard.
-fn shard_of(name: &str) -> usize {
-    (fnv1a(name) % SHARD_COUNT as u64) as usize
-}
-
-/// FNV-1a hash of a string (shared by the name-sharded registry and
-/// the label-set-sharded [`crate::labels::LabeledMetrics`]).
+/// FNV-1a hash of a string (used by the label-set-sharded
+/// [`crate::labels::LabeledMetrics`] to pick a shard).
 pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for b in s.bytes() {
@@ -102,6 +111,107 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
     }
     h
 }
+
+/// Adds `delta` to an `f64` stored as bits in an `AtomicU64`, losslessly
+/// under concurrency via a compare-exchange loop.
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Folds `value` into an `f64` min-or-max cell (bits in an `AtomicU64`)
+/// with a compare-exchange loop that only writes when `value` improves
+/// on the current extreme.
+fn atomic_f64_extreme(cell: &AtomicU64, value: f64, take: impl Fn(f64, f64) -> bool) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while take(value, f64::from_bits(cur)) {
+        match cell.compare_exchange_weak(cur, value.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// One live metric cell: plain atomics, shared across index snapshots
+/// through an `Arc` so every snapshot generation observes the same
+/// state.
+#[derive(Debug)]
+enum AtomicMetric {
+    Counter(AtomicU64),
+    /// `f64` bits.
+    Gauge(AtomicU64),
+    Histogram(AtomicHist),
+}
+
+/// Lock-free histogram state mirroring [`Hist`]: bucket tallies and
+/// moments as atomics, `f64` moments as bit patterns.
+#[derive(Debug)]
+struct AtomicHist {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHist {
+    fn new(bounds: &[f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Self {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    fn observe(&self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.sum, value);
+        atomic_f64_extreme(&self.min, value, |v, cur| v < cur);
+        atomic_f64_extreme(&self.max, value, |v, cur| v > cur);
+    }
+
+    /// Materialises the current state as a plain [`Hist`] for the
+    /// shared summarisation code.
+    fn to_hist(&self) -> Hist {
+        Hist {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(self.sum.load(Ordering::Relaxed)),
+            min: f64::from_bits(self.min.load(Ordering::Relaxed)),
+            max: f64::from_bits(self.max.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The registry's name index: `(name, cell)` pairs sorted by name so
+/// lookups are a binary search and snapshots need no extra sort.
+type MetricIndex = Vec<(String, Arc<AtomicMetric>)>;
 
 /// A registry of named metrics.
 ///
@@ -112,14 +222,20 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
 #[derive(Debug)]
 pub struct MetricsRegistry {
     enabled: AtomicBool,
-    shards: [Mutex<BTreeMap<String, Metric>>; SHARD_COUNT],
+    /// Read-mostly snapshot of the name index; recording threads read
+    /// it lock-free, creation swaps in a copy under `writer`.
+    index: RcuCell<MetricIndex>,
+    /// Serialises metric creation and `reset` (never held on the
+    /// recording fast path).
+    writer: Mutex<()>,
 }
 
 impl Default for MetricsRegistry {
     fn default() -> Self {
         Self {
             enabled: AtomicBool::new(false),
-            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            index: RcuCell::new(Vec::new()),
+            writer: Mutex::new(()),
         }
     }
 }
@@ -143,10 +259,36 @@ impl MetricsRegistry {
         self.enabled.load(Ordering::Relaxed)
     }
 
-    fn shard(&self, name: &str) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
-        self.shards[shard_of(name)]
-            .lock()
-            .expect("metrics registry poisoned")
+    /// Runs `op` on the cell registered under `name`, creating it with
+    /// `make` first if absent. The hit path is lock-free: one index
+    /// load plus a binary search. The miss path takes the writer
+    /// mutex, re-checks (another thread may have created the metric
+    /// meanwhile), then publishes a copied index with the new entry.
+    fn with_cell(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> AtomicMetric,
+        op: impl Fn(&AtomicMetric),
+    ) {
+        {
+            let index = self.index.read();
+            if let Ok(i) = index.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                op(&index[i].1);
+                return;
+            }
+        }
+        let _writer = self.writer.lock().expect("metrics registry poisoned");
+        let index = self.index.read();
+        match index.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+            Ok(i) => op(&index[i].1),
+            Err(pos) => {
+                let cell = Arc::new(make());
+                let mut next = index.clone();
+                next.insert(pos, (name.to_string(), Arc::clone(&cell)));
+                self.index.replace(next);
+                op(&cell);
+            }
+        }
     }
 
     /// Adds `delta` to the counter `name`, creating it at zero first.
@@ -154,14 +296,16 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        match self
-            .shard(name)
-            .entry(name.to_string())
-            .or_insert(Metric::Counter(0))
-        {
-            Metric::Counter(v) => *v += delta,
-            _ => debug_assert!(false, "metric {name} is not a counter"),
-        }
+        self.with_cell(
+            name,
+            || AtomicMetric::Counter(AtomicU64::new(0)),
+            |cell| match cell {
+                AtomicMetric::Counter(v) => {
+                    v.fetch_add(delta, Ordering::Relaxed);
+                }
+                _ => debug_assert!(false, "metric {name} is not a counter"),
+            },
+        );
     }
 
     /// Sets the gauge `name` to `value`.
@@ -169,14 +313,14 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        match self
-            .shard(name)
-            .entry(name.to_string())
-            .or_insert(Metric::Gauge(0.0))
-        {
-            Metric::Gauge(v) => *v = value,
-            _ => debug_assert!(false, "metric {name} is not a gauge"),
-        }
+        self.with_cell(
+            name,
+            || AtomicMetric::Gauge(AtomicU64::new(0.0f64.to_bits())),
+            |cell| match cell {
+                AtomicMetric::Gauge(v) => v.store(value.to_bits(), Ordering::Relaxed),
+                _ => debug_assert!(false, "metric {name} is not a gauge"),
+            },
+        );
     }
 
     /// Adds `delta` to the gauge `name`, creating it at zero first.
@@ -184,14 +328,14 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        match self
-            .shard(name)
-            .entry(name.to_string())
-            .or_insert(Metric::Gauge(0.0))
-        {
-            Metric::Gauge(v) => *v += delta,
-            _ => debug_assert!(false, "metric {name} is not a gauge"),
-        }
+        self.with_cell(
+            name,
+            || AtomicMetric::Gauge(AtomicU64::new(0.0f64.to_bits())),
+            |cell| match cell {
+                AtomicMetric::Gauge(v) => atomic_f64_add(v, delta),
+                _ => debug_assert!(false, "metric {name} is not a gauge"),
+            },
+        );
     }
 
     /// Records `value` into the histogram `name` with the
@@ -207,41 +351,42 @@ impl MetricsRegistry {
         if !self.enabled() {
             return;
         }
-        match self
-            .shard(name)
-            .entry(name.to_string())
-            .or_insert_with(|| Metric::Histogram(Hist::new(bounds)))
-        {
-            Metric::Histogram(h) => h.observe(value),
-            _ => debug_assert!(false, "metric {name} is not a histogram"),
-        }
+        self.with_cell(
+            name,
+            || AtomicMetric::Histogram(AtomicHist::new(bounds)),
+            |cell| match cell {
+                AtomicMetric::Histogram(h) => h.observe(value),
+                _ => debug_assert!(false, "metric {name} is not a histogram"),
+            },
+        );
     }
 
     /// Removes every metric (the enabled flag is untouched).
     pub fn reset(&self) {
-        for shard in &self.shards {
-            shard.lock().expect("metrics registry poisoned").clear();
-        }
+        let _writer = self.writer.lock().expect("metrics registry poisoned");
+        self.index.replace(Vec::new());
     }
 
-    /// A copy of every metric, sorted by name. Each shard is copied
-    /// under its own lock; take snapshots when no workers are
-    /// recording (the sweep drivers snapshot after joining) if the
-    /// copy must be a single consistent cut across all metrics.
+    /// A copy of every metric, sorted by name. The index snapshot is
+    /// a consistent set of *cells*, but cell values are read with
+    /// relaxed loads — take snapshots when no workers are recording
+    /// (the sweep drivers snapshot after joining) if the copy must be
+    /// a single consistent cut across all metrics.
     pub fn snapshot(&self) -> RegistrySnapshot {
-        let mut metrics: Vec<MetricSnapshot> = Vec::new();
-        for shard in &self.shards {
-            let map = shard.lock().expect("metrics registry poisoned");
-            metrics.extend(map.iter().map(|(name, metric)| MetricSnapshot {
+        let index = self.index.read();
+        let metrics = index
+            .iter()
+            .map(|(name, cell)| MetricSnapshot {
                 name: name.clone(),
-                value: match metric {
-                    Metric::Counter(v) => MetricValue::Counter(*v),
-                    Metric::Gauge(v) => MetricValue::Gauge(*v),
-                    Metric::Histogram(h) => MetricValue::Histogram(summarise(h)),
+                value: match &**cell {
+                    AtomicMetric::Counter(v) => MetricValue::Counter(v.load(Ordering::Relaxed)),
+                    AtomicMetric::Gauge(v) => {
+                        MetricValue::Gauge(f64::from_bits(v.load(Ordering::Relaxed)))
+                    }
+                    AtomicMetric::Histogram(h) => MetricValue::Histogram(summarise(&h.to_hist())),
                 },
-            }));
-        }
-        metrics.sort_by(|a, b| a.name.cmp(&b.name));
+            })
+            .collect();
         RegistrySnapshot { metrics }
     }
 }

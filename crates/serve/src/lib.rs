@@ -50,10 +50,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod policy;
 pub mod queued;
 pub mod sim;
 
+pub use parallel::{
+    run_mutex, run_oracle, run_parallel, GroupRouter, ServeStats, ShiftCommand, ThroughputConfig,
+};
 pub use policy::SchedPolicy;
 pub use queued::{queued_hierarchy, QueuedLlc};
 pub use sim::{LatencySummary, ServeConfig, ServeResult, ServeSim, ATTRIBUTION_COMPONENTS};

@@ -332,6 +332,13 @@ pub struct ServeSim {
     /// Per-group bounded FIFO queues. A `BTreeMap` keeps iteration in
     /// group order, independent of insertion history.
     queues: BTreeMap<usize, VecDeque<Queued>>,
+    /// Non-empty stripe groups of each bank, kept sorted ascending —
+    /// the dispatch-side index. `select` and the bypass-aging walk
+    /// touch only their bank's list (O(groups-with-work / bank))
+    /// instead of filtering every queue in the map, while iteration
+    /// order (ascending group) stays identical to the map walk it
+    /// replaces, so schedules are unchanged.
+    bank_groups: Vec<Vec<usize>>,
     queued_total: usize,
     bank_free_at: Vec<u64>,
     in_flight: Vec<InFlight>,
@@ -382,6 +389,7 @@ impl ServeSim {
                 .access_cycles,
             clock: 0,
             queues: BTreeMap::new(),
+            bank_groups: vec![Vec::new(); cfg.banks as usize],
             queued_total: 0,
             bank_free_at: vec![0; cfg.banks as usize],
             in_flight: Vec::new(),
@@ -552,6 +560,14 @@ impl ServeSim {
                 arrival: self.clock,
                 bypassed: 0,
             });
+            if q.len() == 1 {
+                // Group just became non-empty: index it for its bank.
+                let bank = group % self.cfg.banks as usize;
+                let list = &mut self.bank_groups[bank];
+                if let Err(pos) = list.binary_search(&group) {
+                    list.insert(pos, group);
+                }
+            }
             self.queued_total += 1;
             self.peak_queued = self.peak_queued.max(self.queued_total);
             self.outstanding[c] += 1;
@@ -590,14 +606,15 @@ impl ServeSim {
             let req = q.remove(idx).expect("selected index exists");
             if q.is_empty() {
                 self.queues.remove(&group);
+                let list = &mut self.bank_groups[bank];
+                let pos = list.binary_search(&group).expect("group was indexed");
+                list.remove(pos);
             }
             self.queued_total -= 1;
             // Every older request still queued on this bank was just
             // overtaken; count it towards their starvation bound.
-            for (&g, q) in self.queues.iter_mut() {
-                if g % self.cfg.banks as usize != bank {
-                    continue;
-                }
+            for &g in &self.bank_groups[bank] {
+                let q = self.queues.get_mut(&g).expect("indexed group exists");
                 for r in q.iter_mut() {
                     if r.id < req.id {
                         r.bypassed += 1;
@@ -719,25 +736,27 @@ impl ServeSim {
     /// break on request id (arrival order), so the schedule is
     /// total-ordered.
     fn select(&self, bank: usize) -> Option<(usize, usize)> {
+        // Only this bank's non-empty groups are visited (the
+        // `bank_groups` index), not every queue in the simulator; the
+        // list is sorted ascending so candidate order — and therefore
+        // every tie-break — matches the full-map walk it replaced.
+        //
         // Shift distance only matters within a stripe group — each
         // group's head is independent, so deferring one group for
         // another saves no shift work and only starves. The shift-aware
         // policy therefore picks its group FCFS (the one holding the
         // bank's oldest request) and reorders inside it alone.
         let aware_group = if self.cfg.policy == SchedPolicy::ShiftAware {
-            self.queues
+            self.bank_groups[bank]
                 .iter()
-                .filter(|&(&g, _)| g % self.cfg.banks as usize == bank)
-                .min_by_key(|(_, q)| q.front().map_or(u64::MAX, |r| r.id))
-                .map(|(&g, _)| g)
+                .min_by_key(|&&g| self.queues[&g].front().map_or(u64::MAX, |r| r.id))
+                .copied()
         } else {
             None
         };
         let mut best: Option<(u64, u64, u64, usize, usize)> = None;
-        for (&group, q) in &self.queues {
-            if group % self.cfg.banks as usize != bank {
-                continue;
-            }
+        for &group in &self.bank_groups[bank] {
+            let q = &self.queues[&group];
             for (idx, req) in q.iter().enumerate() {
                 let expired =
                     self.cfg.policy != SchedPolicy::Fcfs && req.bypassed >= self.cfg.starve_limit;
