@@ -99,11 +99,14 @@ fn identity_label(id: &[(String, String)]) -> String {
         .join("/")
 }
 
-/// Wall-clock measurements vary run to run; only model output gates.
+/// Wall-clock and host-memory measurements vary run to run; only model
+/// output gates.
 fn is_measurement(field: &str) -> bool {
     field == "wall_ms"
+        || field == "rerun_wall_ms"
         || field.starts_with("secs_")
         || field.starts_with("speedup")
+        || field.starts_with("peak_rss")
         || field == "throughput_req_per_sec"
 }
 

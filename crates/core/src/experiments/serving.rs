@@ -11,9 +11,9 @@
 //! realised shift work and the latency distribution.
 //!
 //! Cells are independent simulations fanned out over the `rtm-par`
-//! pool; per-cell seeds derive from the workload name alone and results
-//! merge back in grid order, so the sweep is bit-identical for any
-//! `--threads` setting.
+//! pool; per-cell seeds derive from the workload name alone and each
+//! result is folded into the sweep in strict grid order as it streams
+//! back, so the sweep is bit-identical for any `--threads` setting.
 
 use super::render_table;
 use rtm_controller::controller::ShiftPolicy;
@@ -134,24 +134,31 @@ impl ServeSweep {
             })
             .collect();
         let progress = rtm_obs::timer::Progress::new("sweep(serve)", cells.len() as u64, "cells");
-        let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
-            let (p, s, pol) = cells[i];
-            let r = run_cell(settings, p, s, pol);
-            progress.tick(1);
-            r
-        });
+        // Streaming fold: cells land in the sweep in strict grid order
+        // as soon as their predecessors have arrived, without a second
+        // results Vec alongside the grid.
+        let sweep = rtm_par::parallel_fold_with(
+            threads,
+            cells.len(),
+            |i| {
+                let (p, s, pol) = cells[i];
+                let r = run_cell(settings, p, s, pol);
+                progress.tick(1);
+                r
+            },
+            Self::default(),
+            |sweep, i, result| {
+                let (p, s, pol) = cells[i];
+                sweep.cells.push(ServeCell {
+                    workload: p.name,
+                    scheme: SCHEMES[s].0,
+                    policy: pol,
+                    result,
+                });
+            },
+        );
         progress.finish();
-        let cells = cells
-            .into_iter()
-            .zip(results)
-            .map(|((p, s, pol), result)| ServeCell {
-                workload: p.name,
-                scheme: SCHEMES[s].0,
-                policy: pol,
-                result,
-            })
-            .collect();
-        Self { cells }
+        sweep
     }
 
     /// The cell for a (workload, scheme, policy) triple.

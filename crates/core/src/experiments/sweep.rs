@@ -5,9 +5,11 @@
 //! Cells of the grid are independent simulations, so the sweep fans
 //! them out across the `rtm-par` pool. Each cell's trace seed derives
 //! from the workload name alone (never the worker count or schedule),
-//! results are merged back in grid order, and per-run gauges are
-//! recorded after the workers join — so sweep output and metrics are
-//! identical for any `--threads` setting.
+//! and results are folded into the sweep in strict grid order as they
+//! stream back — per-run gauges record at fold time, never from a
+//! worker thread — so sweep output and metrics are identical for any
+//! `--threads` setting and the collected-results Vec of earlier
+//! revisions is gone.
 
 use rtm_controller::controller::ShiftPolicy;
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice, SimResult};
@@ -160,28 +162,36 @@ impl SimSweep {
             .flat_map(|&p| choices.iter().map(move |&c| (p, c)))
             .collect();
         let progress = rtm_obs::timer::Progress::new("sweep(choices)", cells.len() as u64, "cells");
-        let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
-            let (p, c) = cells[i];
-            let mut sys = Hierarchy::new(c);
-            let mut gen = TraceGenerator::new(
-                p,
-                rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
-            );
-            let r = sys.run(&mut gen, settings.accesses);
-            progress.tick(1);
-            r
-        });
+        // Streaming fold: each cell's result is folded into the sweep in
+        // strict grid order as soon as its predecessors have arrived, so
+        // no worker-count-sized Vec of results accumulates and gauges
+        // stay deterministic for any `threads` value.
+        let mut sweep = rtm_par::parallel_fold_with(
+            threads,
+            cells.len(),
+            |i| {
+                let (p, c) = cells[i];
+                let mut sys = Hierarchy::new(c);
+                let mut gen = TraceGenerator::new(
+                    p,
+                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+                );
+                let r = sys.run(&mut gen, settings.accesses);
+                progress.tick(1);
+                r
+            },
+            Self::default(),
+            |sweep, i, r| {
+                let (p, c) = cells[i];
+                r.record_metrics();
+                sweep
+                    .by_choice
+                    .entry(p.name)
+                    .or_default()
+                    .insert(c.to_string(), r);
+            },
+        );
         progress.finish();
-        let mut sweep = Self::default();
-        for ((p, c), r) in cells.into_iter().zip(results) {
-            // Post-join, in grid order: gauges stay deterministic.
-            r.record_metrics();
-            sweep
-                .by_choice
-                .entry(p.name)
-                .or_default()
-                .insert(c.to_string(), r);
-        }
         sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
@@ -206,38 +216,43 @@ impl SimSweep {
             .collect();
         let progress =
             rtm_obs::timer::Progress::new("sweep(variants)", cells.len() as u64, "cells");
-        let results = rtm_par::parallel_map_with(threads, cells.len(), |i| {
-            let (p, v) = cells[i];
-            let (kind, policy) = v.parts();
-            let mut sys = match settings.sample_engine {
-                // Sampling seed from (sweep seed, grid index): fixed by
-                // the cell layout, independent of worker scheduling.
-                Some(engine) => Hierarchy::with_racetrack_sampled(
-                    kind,
-                    policy,
-                    engine,
-                    rtm_util::rng::derive_seed(settings.seed, 0x5EED_0000 + i as u64),
-                ),
-                None => Hierarchy::with_racetrack(kind, policy),
-            };
-            let mut gen = TraceGenerator::new(
-                p,
-                rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
-            );
-            let r = sys.run(&mut gen, settings.accesses);
-            progress.tick(1);
-            r
-        });
+        let mut sweep = rtm_par::parallel_fold_with(
+            threads,
+            cells.len(),
+            |i| {
+                let (p, v) = cells[i];
+                let (kind, policy) = v.parts();
+                let mut sys = match settings.sample_engine {
+                    // Sampling seed from (sweep seed, grid index): fixed by
+                    // the cell layout, independent of worker scheduling.
+                    Some(engine) => Hierarchy::with_racetrack_sampled(
+                        kind,
+                        policy,
+                        engine,
+                        rtm_util::rng::derive_seed(settings.seed, 0x5EED_0000 + i as u64),
+                    ),
+                    None => Hierarchy::with_racetrack(kind, policy),
+                };
+                let mut gen = TraceGenerator::new(
+                    p,
+                    rtm_util::rng::derive_seed(settings.seed, seed_of(p.name)),
+                );
+                let r = sys.run(&mut gen, settings.accesses);
+                progress.tick(1);
+                r
+            },
+            Self::default(),
+            |sweep, i, r| {
+                let (p, v) = cells[i];
+                r.record_metrics();
+                sweep
+                    .by_variant
+                    .entry(p.name)
+                    .or_default()
+                    .insert(v.label().to_string(), r);
+            },
+        );
         progress.finish();
-        let mut sweep = Self::default();
-        for ((p, v), r) in cells.into_iter().zip(results) {
-            r.record_metrics();
-            sweep
-                .by_variant
-                .entry(p.name)
-                .or_default()
-                .insert(v.label().to_string(), r);
-        }
         sweep.obs = rtm_obs::global().registry().snapshot();
         sweep
     }
@@ -306,6 +321,41 @@ mod tests {
         let vbase = SimSweep::run_variants_with_threads(&s, &variants, 1);
         let valt = SimSweep::run_variants_with_threads(&s, &variants, 8);
         assert_eq!(vbase.by_variant, valt.by_variant);
+    }
+
+    #[test]
+    fn streamed_sweep_matches_collected_reference() {
+        // The streaming fold must reproduce the old collect-then-merge
+        // pipeline bit-for-bit: run the same grid through
+        // `parallel_map_with` + sequential merge and compare against
+        // the streamed sweep at several worker counts.
+        let mut s = SweepSettings::quick();
+        s.accesses = 4_000;
+        s.workloads = Some(vec!["canneal", "x264"]);
+        let choices = [LlcChoice::SramBaseline, LlcChoice::RacetrackIdeal];
+        let profiles = s.profiles();
+        let cells: Vec<(WorkloadProfile, LlcChoice)> = profiles
+            .iter()
+            .flat_map(|&p| choices.iter().map(move |&c| (p, c)))
+            .collect();
+        let results = rtm_par::parallel_map_with(4, cells.len(), |i| {
+            let (p, c) = cells[i];
+            let mut sys = Hierarchy::new(c);
+            let mut gen =
+                TraceGenerator::new(p, rtm_util::rng::derive_seed(s.seed, seed_of(p.name)));
+            sys.run(&mut gen, s.accesses)
+        });
+        let mut collected: BTreeMap<&'static str, BTreeMap<String, SimResult>> = BTreeMap::new();
+        for ((p, c), r) in cells.into_iter().zip(results) {
+            collected
+                .entry(p.name)
+                .or_default()
+                .insert(c.to_string(), r);
+        }
+        for threads in [1usize, 2, 8] {
+            let streamed = SimSweep::run_choices_with_threads(&s, &choices, threads);
+            assert_eq!(streamed.by_choice, collected, "threads={threads}");
+        }
     }
 
     #[test]

@@ -110,6 +110,8 @@ pub struct SimResult {
     pub dram_accesses: u64,
     /// Cycles spent on LLC shifts (0 for SRAM/STT-RAM).
     pub shift_cycles: u64,
+    /// Lazily-materialised state occupancy (all zero for flat models).
+    pub scale: crate::llc::ScaleStats,
 }
 
 impl SimResult {
@@ -127,6 +129,7 @@ impl SimResult {
             reg.gauge_set("energy.llc_dynamic_pj", self.llc_dynamic_energy().value());
             reg.gauge_set("energy.llc_total_pj", self.llc_total_energy().value());
             reg.gauge_set("energy.system_pj", self.system_energy().value());
+            self.scale.record(reg);
         }
     }
 
@@ -388,6 +391,7 @@ impl Hierarchy {
             activity: self.llc.activity(duration),
             dram_accesses: self.dram_accesses,
             shift_cycles: llc.shift_cycles,
+            scale: self.llc.scale_stats(),
         };
         // Per-run gauges are NOT recorded here: `result()` runs inside
         // parallel sweep workers, where concurrent last-writer-wins

@@ -11,6 +11,7 @@ use rtm_model::params::DeviceParams;
 use rtm_pecc::layout::ProtectionKind;
 use rtm_track::fault::{EngineFaultModel, FaultModel};
 use rtm_track::geometry::StripeGeometry;
+use rtm_util::arena::PagedBytes;
 use rtm_util::units::Seconds;
 
 /// Counters common to all LLC backends.
@@ -80,6 +81,33 @@ pub struct LlcResponse {
     pub writeback: bool,
 }
 
+/// Occupancy of the lazily materialised per-group state, kept separate
+/// from [`LlcStats`] so the lane-path oracle-equality gates (which merge
+/// and compare `LlcStats` per bank) are untouched by scale accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScaleStats {
+    /// Stripe groups the configured capacity spans.
+    pub configured_groups: u64,
+    /// Groups whose state has been touched (head register written).
+    pub materialised_groups: u64,
+    /// Zero-shift accesses answered while the group's state was still
+    /// untouched (the pristine fast path).
+    pub pristine_hits: u64,
+    /// Approximate heap bytes held by per-group state (head store pages
+    /// plus arena slots where applicable).
+    pub arena_bytes: u64,
+}
+
+impl ScaleStats {
+    /// Records the occupancy gauges into the given registry.
+    pub fn record(&self, reg: &rtm_obs::metrics::MetricsRegistry) {
+        reg.gauge_set("scale.configured_groups", self.configured_groups as f64);
+        reg.gauge_set("scale.materialised_groups", self.materialised_groups as f64);
+        reg.gauge_set("scale.pristine_hits", self.pristine_hits as f64);
+        reg.gauge_set("scale.arena_bytes", self.arena_bytes as f64);
+    }
+}
+
 /// Interface the hierarchy drives.
 pub trait LlcModel {
     /// Performs an access at absolute time `now_cycles`.
@@ -94,6 +122,12 @@ pub trait LlcModel {
     /// Activity record for energy accounting; `duration` is filled by
     /// the caller that knows wall-clock time.
     fn activity(&self, duration: Seconds) -> LlcActivity;
+
+    /// Occupancy of lazily materialised state. Backends without lazy
+    /// state (flat-latency models) report the default all-zero record.
+    fn scale_stats(&self) -> ScaleStats {
+        ScaleStats::default()
+    }
 }
 
 /// A flat-latency LLC (SRAM or STT-RAM).
@@ -191,8 +225,11 @@ pub struct RacetrackLlc {
     /// inter-shift interval).
     controllers: Vec<ShiftController>,
     geometry: StripeGeometry,
-    /// Current head position of each stripe group.
-    heads: Vec<u8>,
+    /// Current head position of each stripe group, stored sparsely:
+    /// untouched groups cost nothing and read as head 0 (the
+    /// fabrication state), so a GB-scale LLC only pays for the groups a
+    /// trace actually visits.
+    heads: PagedBytes,
     stripes_per_group: u32,
     stats_shift_ops: u64,
     stats_shift_steps: u64,
@@ -214,6 +251,9 @@ pub struct RacetrackLlc {
     sampler: Option<EngineFaultModel>,
     sampled_shifts: u64,
     observed_errors: u64,
+    /// Zero-shift accesses served while the group's head register was
+    /// still untouched (lazy fast path; subset of `zero_shift`).
+    pristine_hits: u64,
 }
 
 impl RacetrackLlc {
@@ -258,7 +298,7 @@ impl RacetrackLlc {
                 .map(|_| ShiftController::new(kind, policy))
                 .collect(),
             geometry,
-            heads: vec![0; groups as usize],
+            heads: PagedBytes::new(groups as usize),
             stripes_per_group: Self::STRIPES_PER_GROUP,
             stats_shift_ops: 0,
             stats_shift_steps: 0,
@@ -271,6 +311,41 @@ impl RacetrackLlc {
             sampler: None,
             sampled_shifts: 0,
             observed_errors: 0,
+            pristine_hits: 0,
+        }
+    }
+
+    /// Rebuilds the LLC at a different capacity (builder style), keeping
+    /// the bank layout, protection scheme and policies. The paper's
+    /// preset stays at 128 MB; GB-scale serving experiments override it
+    /// here. Must be called before any traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` does not divide into whole 64-line
+    /// stripe groups and banks, or if traffic has already been issued.
+    pub fn with_capacity(mut self, capacity_bytes: u64) -> Self {
+        assert!(
+            self.cache.stats().reads + self.cache.stats().writes == 0,
+            "capacity override must precede traffic"
+        );
+        let banks = self.controllers.len() as u32;
+        let sets_per_group = self.geometry.data_len() as u32 / 16;
+        self.design.capacity_bytes = capacity_bytes;
+        self.cache = Cache::new(capacity_bytes, 16, 64).with_bank_layout(banks, sets_per_group);
+        let lines = capacity_bytes / 64;
+        let groups = lines / self.geometry.data_len() as u64;
+        self.heads = PagedBytes::new(groups as usize);
+        self
+    }
+
+    /// Occupancy of the sparse head store.
+    pub fn scale_stats_racetrack(&self) -> ScaleStats {
+        ScaleStats {
+            configured_groups: self.heads.len() as u64,
+            materialised_groups: self.heads.touched() as u64,
+            pristine_hits: self.pristine_hits,
+            arena_bytes: self.heads.approx_bytes() as u64,
         }
     }
 
@@ -395,7 +470,7 @@ impl RacetrackLlc {
     ///
     /// Panics if `group` is out of range.
     pub fn head_position(&self, group: usize) -> u8 {
-        self.heads[group]
+        self.heads.get(group)
     }
 
     /// Predicts the shift distance an access to `addr` would need right
@@ -413,7 +488,7 @@ impl RacetrackLlc {
             .unwrap_or_else(|| self.cache.victim_way(set));
         let (group, domain) = self.slot_to_group_domain(set, way);
         let target = self.geometry.head_position_for(domain) as u8;
-        self.heads[group].abs_diff(target) as u32
+        self.heads.get(group).abs_diff(target) as u32
     }
 
     /// Estimated service latency in cycles for an access to `addr`
@@ -447,9 +522,15 @@ impl RacetrackLlc {
     /// [`ShiftController::plan_shift_continuation`].
     fn position_head(&mut self, group: usize, domain: usize, now: u64, fused: bool) -> u64 {
         let target = self.geometry.head_position_for(domain) as u8;
-        let current = self.heads[group];
+        let current = self.heads.get(group);
         let latency = if target == current {
             self.zero_shift += 1;
+            if !self.heads.is_touched(group) {
+                // The group's head register has never been written: the
+                // access was answered entirely from fabrication-state
+                // defaults without materialising anything.
+                self.pristine_hits += 1;
+            }
             rtm_obs::counter_add("llc.zero_shift_accesses", 1);
             0
         } else {
@@ -475,7 +556,9 @@ impl RacetrackLlc {
             self.sample_sequence(&plan.sequence);
             latency
         };
-        self.heads[group] = target;
+        if target != current {
+            self.heads.set(group, target);
+        }
         // Idle management: after servicing, drift the head back to the
         // centre of its range off the critical path.
         if self.head_policy == HeadPolicy::ReturnToCentre {
@@ -497,8 +580,8 @@ impl RacetrackLlc {
     /// Panics if `group` is out of range.
     pub fn park_group(&mut self, group: usize, now: u64) {
         let rest = (self.geometry.max_shift() / 2) as u8;
-        if self.heads[group] != rest {
-            let distance = self.heads[group].abs_diff(rest) as u32;
+        if self.heads.get(group) != rest {
+            let distance = self.heads.get(group).abs_diff(rest) as u32;
             let bank = group % self.controllers.len();
             let plan = self.controllers[bank].plan_shift(distance, now);
             self.stats_shift_ops += plan.sequence.len() as u64;
@@ -506,7 +589,7 @@ impl RacetrackLlc {
             self.idle_steps += distance as u64;
             rtm_obs::counter_add("llc.idle_steps", distance as u64);
             self.sample_sequence(&plan.sequence);
-            self.heads[group] = rest;
+            self.heads.set(group, rest);
         }
     }
 
@@ -584,6 +667,10 @@ impl LlcModel for RacetrackLlc {
         &self.design
     }
 
+    fn scale_stats(&self) -> ScaleStats {
+        self.scale_stats_racetrack()
+    }
+
     fn activity(&self, duration: Seconds) -> LlcActivity {
         let s = self.cache.stats();
         let c = self.controller_totals();
@@ -626,6 +713,47 @@ mod tests {
         // Second access needs no shift: head already positioned.
         assert_eq!(r2.latency_cycles, llc.design().read_cycles);
         assert_eq!(llc.stats().zero_shift_accesses, 1);
+    }
+
+    #[test]
+    fn heads_stay_sparse_and_scale_stats_track_occupancy() {
+        let mut llc = rm(ProtectionKind::SECDED, ShiftPolicy::Adaptive);
+        let s0 = llc.scale_stats_racetrack();
+        assert_eq!(s0.configured_groups, llc.groups() as u64);
+        assert_eq!(s0.materialised_groups, 0);
+        assert_eq!(s0.pristine_hits, 0);
+        // An access that needs a shift materialises exactly one group's
+        // head register.
+        llc.access(0x40, AccessKind::Read, 0);
+        assert_eq!(llc.scale_stats_racetrack().materialised_groups, 1);
+        // Re-access: zero-shift on an already-touched head is not a
+        // pristine hit.
+        llc.access(0x40, AccessKind::Read, 10);
+        let s1 = llc.scale_stats_racetrack();
+        assert_eq!(s1.materialised_groups, 1);
+        assert_eq!(s1.pristine_hits, 0);
+        // Untouched groups still read the fabrication default.
+        assert_eq!(llc.head_position(llc.groups() - 1), 0);
+        assert!(s1.arena_bytes > 0);
+    }
+
+    #[test]
+    fn with_capacity_scales_group_count() {
+        let llc = RacetrackLlc::with_banks(ProtectionKind::SECDED, ShiftPolicy::Adaptive, 8)
+            .with_capacity(1 << 30);
+        assert_eq!(llc.design().capacity_bytes, 1 << 30);
+        assert_eq!(llc.groups(), (1 << 30) / 64 / 64);
+        assert_eq!(llc.banks(), 8);
+        // A 16 GB configuration spans ≥ 4 Mi groups ≥ 2 Gi stripes, and
+        // costs only the page directory until touched.
+        let big = RacetrackLlc::new(ProtectionKind::SECDED, ShiftPolicy::Adaptive)
+            .with_capacity(16 << 30);
+        assert_eq!(big.groups(), (16u64 << 30) as usize / 64 / 64);
+        assert_eq!(big.scale_stats_racetrack().materialised_groups, 0);
+        assert!(
+            big.scale_stats_racetrack().arena_bytes < 64 << 20,
+            "untouched 16 GB head store stays under 64 MB of directory"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rtm_pecc::layout::ProtectionKind;
 use rtm_track::bit::Bit;
 use rtm_track::fault::FaultModel;
 use rtm_track::geometry::StripeGeometry;
+use rtm_util::arena::{Arena, NO_HANDLE};
 
 /// Outcome of one physical access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,14 +31,28 @@ pub struct PhysicalResponse {
 }
 
 /// A small, fully physical racetrack cache.
+///
+/// Group state is materialised lazily: each group costs a 4-byte arena
+/// handle until the first access touches it, at which point a prototype-
+/// only [`ProtectedGroup`] is faulted in from the arena pool (the group
+/// itself defers per-stripe allocation further until a real shift or
+/// write). Building a group consumes no randomness, so the fault-model
+/// sampling stream is bit-identical to the historical eager layout
+/// regardless of when — or whether — groups materialise.
 pub struct PhysicalCache {
     cache: Cache,
-    groups: Vec<ProtectedGroup>,
+    /// Group index → arena handle; [`NO_HANDLE`] until first touch.
+    handles: Vec<u32>,
+    arena: Arena<ProtectedGroup>,
     geometry: StripeGeometry,
+    kind: ProtectionKind,
+    ways: u32,
+    capacity_bytes: u64,
     bits_per_line: usize,
     faults: Box<dyn FaultModel>,
     shift_steps: u64,
     dues: u64,
+    pristine_reads: u64,
 }
 
 impl PhysicalCache {
@@ -48,8 +63,9 @@ impl PhysicalCache {
     ///
     /// # Panics
     ///
-    /// Panics on invalid geometry (capacity not divisible, zero sizes)
-    /// or when the line count does not fill whole groups.
+    /// Panics on invalid geometry (capacity not divisible, zero sizes,
+    /// an invalid protection layout) or when the line count does not
+    /// fill whole groups.
     pub fn new(
         capacity_bytes: u64,
         ways: u32,
@@ -64,19 +80,23 @@ impl PhysicalCache {
             lines.is_multiple_of(geometry.data_len() as u64),
             "line count must fill whole stripe groups"
         );
-        let groups = (0..lines / geometry.data_len() as u64)
-            .map(|_| {
-                ProtectedGroup::new(geometry, kind, bits_per_line).expect("valid group layout")
-            })
-            .collect();
+        // Validate the layout up front so invalid configurations fail at
+        // construction exactly like the eager implementation did.
+        ProtectedGroup::new(geometry, kind, bits_per_line).expect("valid group layout");
+        let group_count = (lines / geometry.data_len() as u64) as usize;
         Self {
             cache,
-            groups,
+            handles: vec![NO_HANDLE; group_count],
+            arena: Arena::new(),
             geometry,
+            kind,
+            ways,
+            capacity_bytes,
             bits_per_line,
             faults,
             shift_steps: 0,
             dues: 0,
+            pristine_reads: 0,
         }
     }
 
@@ -93,6 +113,83 @@ impl PhysicalCache {
     /// The stripe-group geometry.
     pub fn geometry(&self) -> &StripeGeometry {
         &self.geometry
+    }
+
+    /// Number of stripe groups the configured capacity spans.
+    pub fn configured_groups(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Number of groups faulted in from the arena so far.
+    pub fn materialised_groups(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Reads answered while the owning group was still in its pristine
+    /// (prototype-only) state.
+    pub fn pristine_reads(&self) -> u64 {
+        self.pristine_reads
+    }
+
+    /// Approximate heap bytes held by group state: the handle table plus
+    /// every live group's stripe storage.
+    pub fn approx_state_bytes(&self) -> usize {
+        let mut bytes = self.handles.len() * std::mem::size_of::<u32>() + self.arena.slot_bytes();
+        for &h in &self.handles {
+            if h != NO_HANDLE {
+                bytes += self.arena.get(h).approx_bytes();
+            }
+        }
+        bytes
+    }
+
+    /// Forces every configured group into existence (the historical
+    /// eager layout; equivalence tests compare lazy runs against this).
+    pub fn materialise_all(&mut self) {
+        for i in 0..self.handles.len() {
+            if self.handles[i] == NO_HANDLE {
+                let group = ProtectedGroup::new(self.geometry, self.kind, self.bits_per_line)
+                    .expect("valid group layout");
+                self.handles[i] = self.arena.alloc(group);
+            }
+        }
+    }
+
+    /// Returns every group to the arena free list and resets the
+    /// directory and counters to their initial state — a medium power
+    /// cycle. The arena keeps its slots, so a subsequent run of the same
+    /// working set reuses them instead of growing the heap.
+    pub fn reset(&mut self) {
+        self.cache = Cache::new(self.capacity_bytes, self.ways, 64);
+        for h in &mut self.handles {
+            if *h != NO_HANDLE {
+                self.arena.free(*h);
+                *h = NO_HANDLE;
+            }
+        }
+        self.shift_steps = 0;
+        self.dues = 0;
+        self.pristine_reads = 0;
+    }
+
+    /// High-water number of arena slots ever allocated (diagnostic for
+    /// the free-list reuse guarantee).
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slots()
+    }
+
+    /// Faults the group in from the arena if needed and returns its
+    /// handle.
+    fn ensure_group(&mut self, group_idx: usize) -> u32 {
+        let h = self.handles[group_idx];
+        if h != NO_HANDLE {
+            return h;
+        }
+        let group = ProtectedGroup::new(self.geometry, self.kind, self.bits_per_line)
+            .expect("valid group layout");
+        let h = self.arena.alloc(group);
+        self.handles[group_idx] = h;
+        h
     }
 
     fn slot_to_group_domain(&self, set: u64, way: u32) -> (usize, usize) {
@@ -118,7 +215,8 @@ impl PhysicalCache {
         let r = self.cache.access(addr, kind);
         let (group_idx, domain) = self.slot_to_group_domain(set, r.way());
         let target = self.geometry.head_position_for(domain);
-        let group = &mut self.groups[group_idx];
+        let handle = self.ensure_group(group_idx);
+        let group = self.arena.get_mut(handle);
         let before = group.believed_head();
         let verdict = group.seek_checked(target, self.faults.as_mut(), 3);
         let moved = (target as i64 - before).unsigned_abs();
@@ -146,6 +244,11 @@ impl PhysicalCache {
                 if due {
                     Some(vec![Bit::Unknown; self.bits_per_line])
                 } else {
+                    if group.is_pristine() {
+                        // Served straight from the group prototype: no
+                        // per-stripe state was ever allocated.
+                        self.pristine_reads += 1;
+                    }
                     let mut out = Vec::with_capacity(self.bits_per_line);
                     for i in 0..self.bits_per_line {
                         out.push(
@@ -186,7 +289,8 @@ fn group_stripe_mut(
 impl std::fmt::Debug for PhysicalCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PhysicalCache")
-            .field("groups", &self.groups.len())
+            .field("groups", &self.handles.len())
+            .field("materialised", &self.arena.live())
             .field("bits_per_line", &self.bits_per_line)
             .field("shift_steps", &self.shift_steps)
             .finish()
@@ -265,6 +369,135 @@ mod tests {
         let _ = r;
         // Post-DUE state returns indeterminate data until recovery.
         assert!(data.is_some());
+    }
+
+    #[test]
+    fn groups_materialise_lazily_and_reads_can_stay_pristine() {
+        // Direct-mapped, 4 groups; set == line index == data domain % 64.
+        let mut c = PhysicalCache::new(
+            4 * 64 * 64,
+            1,
+            ProtectionKind::SECDED,
+            8,
+            Box::new(IdealFaultModel),
+        );
+        assert_eq!(c.configured_groups(), 4);
+        assert_eq!(c.materialised_groups(), 0);
+        // Domain 7 sits under a port at head position 0
+        // (segment_len - 1 - 7 % 8), so reading line 7 of an untouched
+        // group needs no seek and serves zeroed fabrication data from the
+        // group prototype.
+        assert_eq!(c.geometry().head_position_for(7), 0);
+        let addr = 7 * 64;
+        let (_, data) = c.access(addr, AccessKind::Read, None);
+        assert_eq!(data.unwrap(), vec![Bit::Zero; 8]);
+        assert_eq!(c.materialised_groups(), 1, "group object faulted in");
+        assert_eq!(c.pristine_reads(), 1, "served without stripe state");
+        // A write materialises the group's stripes for real.
+        c.access(addr, AccessKind::Write, Some(&bits(0xA5)));
+        let before = c.approx_state_bytes();
+        let (_, data) = c.access(addr, AccessKind::Read, None);
+        assert_eq!(data.unwrap(), bits(0xA5));
+        assert_eq!(c.pristine_reads(), 1, "no longer pristine");
+        assert_eq!(c.approx_state_bytes(), before);
+        // The other three groups still cost nothing but their handles.
+        assert_eq!(c.materialised_groups(), 1);
+    }
+
+    #[test]
+    fn reset_reuses_arena_slots() {
+        let mut c = small(ProtectionKind::SECDED, Box::new(IdealFaultModel));
+        c.access(0x40, AccessKind::Write, Some(&bits(0x12)));
+        assert_eq!(c.materialised_groups(), 1);
+        let slots = c.arena_slots();
+        c.reset();
+        assert_eq!(c.materialised_groups(), 0);
+        assert_eq!(c.shift_steps(), 0);
+        // Rerunning the same working set reuses the freed slot.
+        c.access(0x40, AccessKind::Write, Some(&bits(0x12)));
+        let (_, data) = c.access(0x40, AccessKind::Read, None);
+        assert_eq!(data.unwrap(), bits(0x12));
+        assert_eq!(c.arena_slots(), slots, "free list prevented growth");
+    }
+
+    /// Lazy and eager layouts produce identical responses, data and
+    /// counters for the same access + fault script.
+    #[test]
+    fn lazy_matches_materialise_all_with_faults() {
+        let script = || {
+            let mut outcomes = Vec::new();
+            let mut rng = rtm_util::rng::seeded_rng(42);
+            for _ in 0..4096 {
+                outcomes.push(if rng.chance(0.02) {
+                    rtm_model::shift::ShiftOutcome::Pinned {
+                        offset: if rng.chance(0.5) { 1 } else { -1 },
+                    }
+                } else {
+                    rtm_model::shift::ShiftOutcome::Pinned { offset: 0 }
+                });
+            }
+            Box::new(ScriptedFaultModel::new(outcomes))
+        };
+        let mut lazy = small(ProtectionKind::SECDED, script());
+        let mut eager = small(ProtectionKind::SECDED, script());
+        eager.materialise_all();
+        let mut rng = rtm_util::rng::seeded_rng(9);
+        for step in 0..300 {
+            let addr = (rng.next_u64() % 64) * 64;
+            if rng.chance(0.4) {
+                let pattern = (step % 251) as u8;
+                let (a, _) = lazy.access(addr, AccessKind::Write, Some(&bits(pattern)));
+                let (b, _) = eager.access(addr, AccessKind::Write, Some(&bits(pattern)));
+                assert_eq!(a, b, "write response diverged at step {step}");
+            } else {
+                let (a, da) = lazy.access(addr, AccessKind::Read, None);
+                let (b, db) = eager.access(addr, AccessKind::Read, None);
+                assert_eq!(a, b, "read response diverged at step {step}");
+                assert_eq!(da, db, "read data diverged at step {step}");
+            }
+        }
+        assert_eq!(lazy.shift_steps(), eager.shift_steps());
+        assert_eq!(lazy.dues(), eager.dues());
+    }
+
+    #[test]
+    fn lazy_matches_eager_over_20k_sampled_operations() {
+        // The headline equivalence suite: 20k mixed read/write
+        // operations (each seeking, shifting and sampling the Gaussian
+        // fault physics) on the lazy arena-backed cache and on a fully
+        // materialised one built from the same seed. Lazy
+        // materialisation draws every outcome in stripe order before
+        // deciding whether a group stays pristine, so the RNG streams
+        // — and therefore every response, every sensed bit and every
+        // counter — must be bit-identical.
+        let model = || {
+            Box::new(rtm_track::fault::GaussianFaultModel::new(
+                &rtm_model::DeviceParams::table1(),
+                0xFEED,
+            ))
+        };
+        let mut lazy = small(ProtectionKind::SECDED, model());
+        let mut eager = small(ProtectionKind::SECDED, model());
+        eager.materialise_all();
+        let mut rng = rtm_util::rng::seeded_rng(77);
+        for step in 0..20_000 {
+            let addr = (rng.next_u64() % 64) * 64;
+            if rng.chance(0.35) {
+                let pattern = (step % 251) as u8;
+                let (a, _) = lazy.access(addr, AccessKind::Write, Some(&bits(pattern)));
+                let (b, _) = eager.access(addr, AccessKind::Write, Some(&bits(pattern)));
+                assert_eq!(a, b, "write response diverged at step {step}");
+            } else {
+                let (a, da) = lazy.access(addr, AccessKind::Read, None);
+                let (b, db) = eager.access(addr, AccessKind::Read, None);
+                assert_eq!(a, b, "read response diverged at step {step}");
+                assert_eq!(da, db, "read data diverged at step {step}");
+            }
+        }
+        assert_eq!(lazy.shift_steps(), eager.shift_steps());
+        assert_eq!(lazy.dues(), eager.dues());
+        // The workload really exercised the sampled fault path.
+        assert!(lazy.shift_steps() > 0);
     }
 
     #[test]

@@ -213,6 +213,94 @@ where
         .collect()
 }
 
+/// Runs `tasks` independent jobs and folds their results into an
+/// accumulator **in task-index order**, without ever holding more than
+/// the out-of-order completion window in memory.
+///
+/// This is the streaming counterpart of [`parallel_map_with`]: instead
+/// of collecting `Vec<T>` and merging afterwards, each result is handed
+/// to `fold(&mut acc, index, result)` on the calling thread as soon as
+/// every lower-indexed result has been folded. The fold order — and
+/// therefore any order-sensitive merge, metrics recording or
+/// last-writer-wins gauge — is identical for every worker count,
+/// preserving the crate's determinism contract while sweeps no longer
+/// accumulate O(cells) results.
+///
+/// Memory: the calling thread holds at most the results that completed
+/// ahead of the next index to fold (bounded in practice by the worker
+/// count times scheduling skew), not all `tasks` of them.
+///
+/// A panicking task propagates its panic to the caller after the
+/// remaining workers drain; the accumulator is dropped in that case.
+pub fn parallel_fold_with<T, A, F, G>(workers: usize, tasks: usize, f: F, init: A, mut fold: G) -> A
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: FnMut(&mut A, usize, T),
+{
+    let workers = if workers == 0 { threads() } else { workers };
+    let workers = workers.min(tasks).max(1);
+    let mut acc = init;
+    if workers == 1 || tasks <= 1 {
+        for i in 0..tasks {
+            let v = f(i);
+            fold(&mut acc, i, v);
+        }
+        return acc;
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    std::thread::scope(|scope| {
+        let next = &next;
+        let f = &f;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        // A send only fails when the receiver is gone,
+                        // which means the main thread is unwinding; stop
+                        // producing.
+                        if tx.send((i, f(i))).is_err() {
+                            break;
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        // In-order streaming merge on the calling thread: buffer only
+        // results that completed ahead of the next index to fold.
+        let mut pending: std::collections::BTreeMap<usize, T> = std::collections::BTreeMap::new();
+        let mut next_fold = 0usize;
+        while next_fold < tasks {
+            let Ok((i, v)) = rx.recv() else {
+                // All senders hung up early: a worker panicked mid-task.
+                break;
+            };
+            pending.insert(i, v);
+            while let Some(v) = pending.remove(&next_fold) {
+                fold(&mut acc, next_fold, v);
+                next_fold += 1;
+            }
+        }
+        for h in handles {
+            if let Err(e) = h.join() {
+                panic = Some(e);
+            }
+        }
+    });
+    if let Some(e) = panic {
+        std::panic::resume_unwind(e);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +346,61 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn fold_order_is_task_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let order = parallel_fold_with(
+                workers,
+                100,
+                |i| i * 3,
+                Vec::new(),
+                |acc: &mut Vec<(usize, usize)>, i, v| acc.push((i, v)),
+            );
+            let want: Vec<(usize, usize)> = (0..100).map(|i| (i, i * 3)).collect();
+            assert_eq!(order, want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fold_matches_map_then_merge() {
+        // Order-sensitive floating-point sum: streaming fold must equal
+        // the collect-then-iterate merge bit-for-bit.
+        let collected: f64 = parallel_map_with(8, 500, |i| (i as f64).sqrt())
+            .into_iter()
+            .fold(0.0, |a, b| a + b);
+        let streamed = parallel_fold_with(
+            8,
+            500,
+            |i| (i as f64).sqrt(),
+            0.0f64,
+            |acc, _i, v| *acc += v,
+        );
+        assert_eq!(collected.to_bits(), streamed.to_bits());
+    }
+
+    #[test]
+    fn fold_zero_tasks_returns_init() {
+        let acc = parallel_fold_with(4, 0, |i| i, 42usize, |a, _i, v| *a += v);
+        assert_eq!(acc, 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "fold boom")]
+    fn fold_worker_panic_propagates() {
+        let _ = parallel_fold_with(
+            4,
+            16,
+            |i| {
+                if i == 9 {
+                    panic!("fold boom");
+                }
+                i
+            },
+            0usize,
+            |a, _i, v| *a += v,
+        );
     }
 
     #[test]

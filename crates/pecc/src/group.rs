@@ -28,15 +28,28 @@ pub struct GroupStats {
 }
 
 /// A lockstep group of protected stripes.
+///
+/// Per-stripe state is materialised lazily: until the group is shifted
+/// or a stripe is mutably accessed, every member stripe is provably
+/// identical to the deterministic fabrication-state prototype (head 0,
+/// zeroed data, freshly derived code taps), so only the prototype is
+/// stored. Materialisation clones the prototype `count` times — it
+/// consumes no randomness, so fault-model sampling streams are
+/// unaffected by *when* it happens.
 #[derive(Debug, Clone)]
 pub struct ProtectedGroup {
+    /// The fabrication-state stripe every member equals while pristine.
+    prototype: ProtectedStripe,
+    /// Materialised per-stripe state; empty while the group is pristine.
     stripes: Vec<ProtectedStripe>,
+    count: usize,
     stats: GroupStats,
 }
 
 impl ProtectedGroup {
     /// Creates a group of `count` stripes with the given geometry and
-    /// protection.
+    /// protection. Only a single prototype stripe is allocated until the
+    /// group is first shifted or mutably accessed.
     ///
     /// # Errors
     ///
@@ -53,19 +66,43 @@ impl ProtectedGroup {
         assert!(count > 0, "a group needs at least one stripe");
         let prototype = ProtectedStripe::new(geometry, kind)?;
         Ok(Self {
-            stripes: vec![prototype; count],
+            prototype,
+            stripes: Vec::new(),
+            count,
             stats: GroupStats::default(),
         })
     }
 
     /// Number of stripes.
     pub fn len(&self) -> usize {
-        self.stripes.len()
+        self.count
     }
 
-    /// Always false (construction requires at least one stripe).
+    /// Whether the group has zero stripes (never true for a constructed
+    /// group, but derived honestly rather than hardcoded).
     pub fn is_empty(&self) -> bool {
-        false
+        self.count == 0
+    }
+
+    /// True while only the prototype stripe is allocated.
+    pub fn is_pristine(&self) -> bool {
+        self.stripes.is_empty()
+    }
+
+    /// Forces per-stripe state into existence (`count` prototype
+    /// clones). Draws nothing from any fault model.
+    pub fn materialise(&mut self) {
+        if self.stripes.is_empty() {
+            self.stripes = vec![self.prototype.clone(); self.count];
+        }
+    }
+
+    /// Approximate heap bytes held by the group's stripe state
+    /// (prototype plus materialised stripes; one byte per cell).
+    pub fn approx_bytes(&self) -> usize {
+        let per =
+            std::mem::size_of::<ProtectedStripe>() + self.prototype.layout().geometry.total_len();
+        std::mem::size_of::<Self>() + (1 + self.stripes.len()) * per
     }
 
     /// Group statistics.
@@ -79,27 +116,35 @@ impl ProtectedGroup {
     ///
     /// Panics if `i` is out of range.
     pub fn stripe(&self, i: usize) -> &ProtectedStripe {
-        &self.stripes[i]
+        if self.stripes.is_empty() {
+            assert!(i < self.count, "stripe index {i} out of range");
+            &self.prototype
+        } else {
+            &self.stripes[i]
+        }
     }
 
     /// Mutable access to a member stripe, for port-level data reads and
-    /// writes at the group's current head position.
+    /// writes at the group's current head position (materialises the
+    /// group).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn stripe_mut(&mut self, i: usize) -> &mut ProtectedStripe {
+        self.materialise();
         &mut self.stripes[i]
     }
 
     /// The shared believed head position.
     pub fn believed_head(&self) -> i64 {
-        self.stripes[0].believed_head()
+        self.stripe(0).believed_head()
     }
 
     /// True when every stripe is physically synchronised with the
     /// believed head.
     pub fn is_synchronised(&self) -> bool {
+        // A pristine group is synchronised by construction.
         self.stripes.iter().all(|s| s.is_synchronised())
     }
 
@@ -117,6 +162,7 @@ impl ProtectedGroup {
         faults: &mut dyn FaultModel,
         max_retries: u32,
     ) -> Verdict {
+        self.materialise();
         self.stats.transactions += 1;
         let mut worst = Verdict::Clean;
         for stripe in &mut self.stripes {
@@ -148,12 +194,12 @@ impl ProtectedGroup {
         faults: &mut dyn FaultModel,
         max_retries: u32,
     ) -> Verdict {
-        let geometry = self.stripes[0].layout().geometry;
+        let geometry = self.prototype.layout().geometry;
         assert!(
             target <= geometry.max_shift(),
             "head target {target} out of range"
         );
-        let max_step = self.stripes[0].layout().max_shift_per_op as i64;
+        let max_step = self.prototype.layout().max_shift_per_op as i64;
         let mut worst = Verdict::Clean;
         while self.believed_head() != target as i64 {
             let delta = (target as i64 - self.believed_head()).clamp(-max_step, max_step);
@@ -291,6 +337,35 @@ mod tests {
                     ShiftOutcome::Pinned { offset: 0 }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn pristine_group_defers_stripe_allocation() {
+        let mut g = group(512);
+        assert!(g.is_pristine());
+        assert_eq!(g.len(), 512);
+        assert!(!g.is_empty());
+        assert_eq!(g.believed_head(), 0);
+        assert!(g.is_synchronised());
+        let pristine_bytes = g.approx_bytes();
+        // Seeking to the position it is already at touches nothing.
+        let mut ideal = IdealFaultModel;
+        assert_eq!(g.seek_checked(0, &mut ideal, 3), Verdict::Clean);
+        assert!(g.is_pristine());
+        // A real shift materialises; state matches an eagerly built group.
+        g.seek_checked(3, &mut ideal, 3);
+        assert!(!g.is_pristine());
+        assert!(g.approx_bytes() > 100 * pristine_bytes);
+        let mut eager = group(512);
+        eager.materialise();
+        eager.seek_checked(3, &mut ideal, 3);
+        for i in [0usize, 100, 511] {
+            assert_eq!(g.stripe(i).believed_head(), eager.stripe(i).believed_head());
+            assert_eq!(
+                g.stripe(i).is_synchronised(),
+                eager.stripe(i).is_synchronised()
+            );
         }
     }
 

@@ -14,7 +14,7 @@ use crate::policy::SchedPolicy;
 use rtm_controller::controller::ShiftPolicy;
 use rtm_cost::technology::{CacheTech, SystemConfig};
 use rtm_mem::cache::AccessKind;
-use rtm_mem::llc::{LlcModel, LlcStats, RacetrackLlc};
+use rtm_mem::llc::{LlcModel, LlcStats, RacetrackLlc, ScaleStats};
 use rtm_obs::attrib::AttributionTable;
 use rtm_obs::events::ShiftEvent;
 use rtm_obs::metrics::{nearest_rank, MetricsRegistry, RegistrySnapshot};
@@ -73,6 +73,11 @@ pub struct ServeConfig {
     pub paced: bool,
     /// Requests to serve before stopping.
     pub requests: u64,
+    /// Configured LLC capacity override in bytes (`None` keeps the
+    /// paper's 128 MiB preset). Large capacities are cheap: group
+    /// state materialises lazily, so an idle terabyte-scale array
+    /// costs its directory alone.
+    pub capacity_bytes: Option<u64>,
 }
 
 impl ServeConfig {
@@ -90,6 +95,7 @@ impl ServeConfig {
             starve_limit: 4,
             paced: true,
             requests: 50_000,
+            capacity_bytes: None,
         }
     }
 
@@ -138,11 +144,20 @@ impl ServeConfig {
         self
     }
 
+    /// Overrides the configured LLC capacity in bytes (builder style).
+    pub fn with_capacity(mut self, bytes: u64) -> Self {
+        self.capacity_bytes = Some(bytes);
+        self
+    }
+
     fn validate(&self) {
         assert!(self.banks > 0, "at least one bank");
         assert!(self.queue_depth > 0, "queues need capacity");
         assert!(self.clients > 0, "at least one client");
         assert!(self.budget > 0, "clients need a budget");
+        if let Some(bytes) = self.capacity_bytes {
+            assert!(bytes > 0, "capacity must be non-zero");
+        }
     }
 }
 
@@ -229,6 +244,10 @@ pub struct ServeResult {
     pub peak_in_flight: usize,
     /// LLC counters (shifts, hits, expected error mass, ...).
     pub llc: LlcStats,
+    /// Memory-footprint counters of the lazily materialised LLC state
+    /// (configured vs touched stripe groups, pristine-read hits,
+    /// arena bytes).
+    pub scale: ScaleStats,
     /// Memory-fill cycles charged to dispatched requests (misses only;
     /// summed at dispatch, so in-flight requests at run end are
     /// included, matching `queue_delay.sum` and `service.sum`).
@@ -296,6 +315,7 @@ impl ServeResult {
             );
             reg.counter_add("serve.backpressure_stalls", self.backpressure_stalls);
             reg.counter_add("serve.completed", self.requests);
+            self.scale.record(reg);
         }
     }
 }
@@ -380,7 +400,10 @@ impl ServeSim {
     /// Panics if the configuration is invalid.
     pub fn new(cfg: ServeConfig) -> Self {
         cfg.validate();
-        let llc = RacetrackLlc::with_banks(cfg.protection, cfg.shift_policy, cfg.banks);
+        let mut llc = RacetrackLlc::with_banks(cfg.protection, cfg.shift_policy, cfg.banks);
+        if let Some(bytes) = cfg.capacity_bytes {
+            llc = llc.with_capacity(bytes);
+        }
         let registry = MetricsRegistry::new();
         registry.set_enabled(true);
         Self {
@@ -796,6 +819,8 @@ impl ServeSim {
             .gauge_set("serve.peak_queued", self.peak_queued as f64);
         self.registry
             .gauge_set("serve.peak_in_flight", self.peak_in_flight as f64);
+        let scale = self.llc.scale_stats();
+        scale.record(&self.registry);
         let mut tenants = AttributionTable::new(["tenant"], ATTRIBUTION_COMPONENTS);
         for c in 0..self.cfg.clients as usize {
             let service = self.tenant_service[c];
@@ -830,6 +855,7 @@ impl ServeSim {
             fill_cycles: self.fill_cycles_total,
             bank_busy_cycles: self.bank_busy,
             tenants,
+            scale,
             llc: self.llc.stats(),
             metrics: self.registry.snapshot(),
         }
@@ -994,6 +1020,41 @@ mod tests {
             "fr-fcfs zero-shift rate {} vs fcfs {}",
             rate(&frf),
             rate(&fcfs)
+        );
+    }
+
+    #[test]
+    fn capacity_override_scales_groups_without_materialising_them() {
+        // A 4 GiB configured array behind the same trace: the group
+        // directory grows 32x, but only the touched working set
+        // materialises, and the schedule-relevant results for a trace
+        // that fits either way track the same request count.
+        let p = WorkloadProfile::by_name("canneal").unwrap();
+        let base = ServeSim::new(ServeConfig::new(SchedPolicy::Fcfs).with_requests(2_000))
+            .run(&mut TraceGenerator::new(p, 2015));
+        let big = ServeSim::new(
+            ServeConfig::new(SchedPolicy::Fcfs)
+                .with_requests(2_000)
+                .with_capacity(4 << 30),
+        )
+        .run(&mut TraceGenerator::new(p, 2015));
+        assert_eq!(big.requests, 2_000);
+        assert_eq!(
+            big.scale.configured_groups,
+            32 * base.scale.configured_groups
+        );
+        assert!(big.scale.materialised_groups <= big.scale.configured_groups);
+        // The directory itself stays sparse: far fewer touched groups
+        // than configured ones at GB scale.
+        assert!(big.scale.materialised_groups < big.scale.configured_groups / 4);
+        // Scale gauges land in the private registry.
+        assert_eq!(
+            big.metrics.gauge("scale.configured_groups"),
+            Some(big.scale.configured_groups as f64)
+        );
+        assert_eq!(
+            big.metrics.gauge("scale.materialised_groups"),
+            Some(big.scale.materialised_groups as f64)
         );
     }
 

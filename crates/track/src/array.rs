@@ -7,6 +7,22 @@
 //! physics, so a position error desynchronises one stripe from the rest
 //! of the group — the failure mode conventional per-line ECC cannot
 //! attribute (Section 3.2).
+//!
+//! # Lazy materialisation
+//!
+//! At GB scale almost every group a trace never writes stays in its
+//! fabrication state, so [`StripeArray`] starts **pristine**: no
+//! per-stripe state is allocated at all. While every shift command lands
+//! cleanly (`Pinned { offset: 0 }`) and the head trajectory stays inside
+//! `[0, max_shift]`, the cell image of every member stripe is the
+//! history-independent [`SegmentedStripe::pristine_at`] pattern, so reads
+//! and synchronisation queries are answered from the group's scalar
+//! state. The first divergence — a faulty outcome, an out-of-range head,
+//! or a write of real data — materialises all stripes bit-identically to
+//! the eager implementation. Fault-model sampling order is preserved
+//! exactly: outcomes are drawn once per stripe in stripe order whether or
+//! not the group is materialised, and applying an outcome consumes no
+//! randomness.
 
 use crate::bit::Bit;
 use crate::fault::FaultModel;
@@ -14,10 +30,24 @@ use crate::geometry::StripeGeometry;
 use crate::stripe::{SegmentedStripe, StripeError};
 use rtm_model::shift::ShiftOutcome;
 
+/// Stripe storage: nothing while the group is provably pristine, a full
+/// per-stripe vector afterwards.
+#[derive(Debug, Clone)]
+enum Stripes {
+    /// Every member stripe equals
+    /// `SegmentedStripe::pristine_at(geometry, believed_head, shift_ops)`.
+    Pristine {
+        /// Number of (unmaterialised) member stripes.
+        count: usize,
+    },
+    /// Per-stripe state diverged (or was requested) and is now explicit.
+    Materialised(Vec<SegmentedStripe>),
+}
+
 /// A group of stripes that shift together.
 #[derive(Debug, Clone)]
 pub struct StripeArray {
-    stripes: Vec<SegmentedStripe>,
+    stripes: Stripes,
     geometry: StripeGeometry,
     believed_head: i64,
     shift_ops: u64,
@@ -25,15 +55,17 @@ pub struct StripeArray {
 }
 
 impl StripeArray {
-    /// Creates `count` zeroed stripes with shared geometry.
+    /// Creates `count` zeroed stripes with shared geometry, without
+    /// allocating any per-stripe state until it is needed.
     ///
     /// # Panics
     ///
     /// Panics if `count == 0`.
+    #[must_use]
     pub fn zeroed(geometry: StripeGeometry, count: usize) -> Self {
         assert!(count > 0, "array needs at least one stripe");
         Self {
-            stripes: vec![SegmentedStripe::zeroed(geometry); count],
+            stripes: Stripes::Pristine { count },
             geometry,
             believed_head: 0,
             shift_ops: 0,
@@ -41,17 +73,44 @@ impl StripeArray {
         }
     }
 
-    /// Number of stripes in the group.
-    pub fn len(&self) -> usize {
-        self.stripes.len()
+    /// Creates `count` zeroed stripes with all per-stripe state
+    /// materialised up front (the pre-lazy behaviour; equivalence tests
+    /// compare against this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`.
+    #[must_use]
+    pub fn zeroed_eager(geometry: StripeGeometry, count: usize) -> Self {
+        let mut array = Self::zeroed(geometry, count);
+        array.materialise();
+        array
     }
 
-    /// Always false — construction requires at least one stripe.
+    /// Number of stripes in the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match &self.stripes {
+            Stripes::Pristine { count } => *count,
+            Stripes::Materialised(v) => v.len(),
+        }
+    }
+
+    /// Whether the group has zero stripes (never true for a constructed
+    /// array, but derived honestly rather than hardcoded).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
-        false
+        self.len() == 0
+    }
+
+    /// True while no per-stripe state has been materialised.
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        matches!(self.stripes, Stripes::Pristine { .. })
     }
 
     /// Shared geometry.
+    #[must_use]
     pub fn geometry(&self) -> &StripeGeometry {
         &self.geometry
     }
@@ -59,36 +118,62 @@ impl StripeArray {
     /// The believed head position (identical across the group by
     /// construction; actual per-stripe positions may differ after
     /// errors).
+    #[must_use]
     pub fn believed_head(&self) -> i64 {
         self.believed_head
     }
 
     /// Number of shift commands issued.
+    #[must_use]
     pub fn shift_ops(&self) -> u64 {
         self.shift_ops
     }
 
     /// Total steps commanded across all shift operations.
+    #[must_use]
     pub fn total_steps(&self) -> u64 {
         self.total_steps
     }
 
-    /// Immutable view of a member stripe.
+    /// Forces per-stripe state into existence, bit-identical to what the
+    /// eager implementation would hold at this point.
+    pub fn materialise(&mut self) -> &mut Vec<SegmentedStripe> {
+        if let Stripes::Pristine { count } = self.stripes {
+            debug_assert!(
+                self.believed_head >= 0 && self.believed_head <= self.geometry.max_shift() as i64,
+                "pristine invariant violated: head {}",
+                self.believed_head
+            );
+            let prototype = SegmentedStripe::pristine_at(
+                self.geometry,
+                self.believed_head as usize,
+                self.shift_ops,
+            );
+            self.stripes = Stripes::Materialised(vec![prototype; count]);
+        }
+        match &mut self.stripes {
+            Stripes::Materialised(v) => v,
+            Stripes::Pristine { .. } => unreachable!("just materialised"),
+        }
+    }
+
+    /// View of a member stripe (materialises the group).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
-    pub fn stripe(&self, i: usize) -> &SegmentedStripe {
-        &self.stripes[i]
+    pub fn stripe(&mut self, i: usize) -> &SegmentedStripe {
+        &self.materialise()[i]
     }
 
-    /// Mutable view of a member stripe (fault-injection tests).
+    /// Mutable view of a member stripe (fault-injection tests;
+    /// materialises the group).
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn stripe_mut(&mut self, i: usize) -> &mut SegmentedStripe {
-        &mut self.stripes[i]
+        &mut self.materialise()[i]
     }
 
     /// Issues one lockstep shift of `delta` steps (positive = right).
@@ -101,15 +186,38 @@ impl StripeArray {
     pub fn shift(&mut self, delta: i64, faults: &mut dyn FaultModel) -> Vec<ShiftOutcome> {
         assert!(delta != 0, "zero-distance shifts are controller no-ops");
         let distance = delta.unsigned_abs() as u32;
-        let outcomes: Vec<ShiftOutcome> = self
-            .stripes
-            .iter_mut()
-            .map(|s| {
-                let outcome = faults.sample(distance);
-                s.apply_shift(delta, outcome);
-                outcome
-            })
-            .collect();
+        let outcomes: Vec<ShiftOutcome> = match &mut self.stripes {
+            Stripes::Materialised(v) => v
+                .iter_mut()
+                .map(|s| {
+                    let outcome = faults.sample(distance);
+                    s.apply_shift(delta, outcome);
+                    outcome
+                })
+                .collect(),
+            Stripes::Pristine { count } => {
+                // Draw every outcome in stripe order first: applying an
+                // outcome consumes no randomness, so this is
+                // stream-identical to the eager sample/apply interleave.
+                let count = *count;
+                let outcomes: Vec<ShiftOutcome> =
+                    (0..count).map(|_| faults.sample(distance)).collect();
+                let new_head = self.believed_head + delta;
+                let stays_pristine = new_head >= 0
+                    && new_head <= self.geometry.max_shift() as i64
+                    && outcomes
+                        .iter()
+                        .all(|&o| o == ShiftOutcome::Pinned { offset: 0 });
+                if !stays_pristine {
+                    // Rebuild the pre-shift state, then apply the drawn
+                    // outcomes exactly as the eager path would have.
+                    for (s, &o) in self.materialise().iter_mut().zip(&outcomes) {
+                        s.apply_shift(delta, o);
+                    }
+                }
+                outcomes
+            }
+        };
         self.believed_head += delta;
         self.shift_ops += 1;
         self.total_steps += distance as u64;
@@ -137,6 +245,18 @@ impl StripeArray {
         Ok(())
     }
 
+    /// The bit a pristine stripe holds at physical `slot`: the zeroed
+    /// data window sits at `[believed_head, believed_head + data_len)`.
+    fn pristine_slot_bit(&self, slot: usize) -> Bit {
+        let head = self.believed_head;
+        debug_assert!(head >= 0, "pristine head is never negative");
+        if (slot as i64) >= head && (slot as i64) < head + self.geometry.data_len() as i64 {
+            Bit::Zero
+        } else {
+            Bit::Unknown
+        }
+    }
+
     /// Reads the bit of data domain `d` from every stripe at the current
     /// head position, *without* shifting: the caller is responsible for
     /// having sought to the right position. Returns `Unknown` bits where
@@ -147,6 +267,7 @@ impl StripeArray {
     ///
     /// Panics if `d` is outside the data region or the believed head
     /// does not match `d`'s target position (a controller logic error).
+    #[must_use]
     pub fn read_bits(&self, d: usize) -> Vec<Bit> {
         let want = self.geometry.head_position_for(d) as i64;
         assert_eq!(
@@ -156,10 +277,13 @@ impl StripeArray {
         );
         let port = self.geometry.port_of_domain(d);
         let slot = self.geometry.port_slot(port);
-        self.stripes
-            .iter()
-            .map(|s| s.stripe().read_slot(slot).unwrap_or(Bit::Unknown))
-            .collect()
+        match &self.stripes {
+            Stripes::Pristine { count } => vec![self.pristine_slot_bit(slot); *count],
+            Stripes::Materialised(v) => v
+                .iter()
+                .map(|s| s.stripe().read_slot(slot).unwrap_or(Bit::Unknown))
+                .collect(),
+        }
     }
 
     /// Writes one bit per stripe at data domain `d` (shift-based write
@@ -176,7 +300,7 @@ impl StripeArray {
     /// Panics on head/domain mismatch like [`StripeArray::read_bits`],
     /// or if `bits.len() != self.len()`.
     pub fn write_bits(&mut self, d: usize, bits: &[Bit]) -> Result<(), StripeError> {
-        assert_eq!(bits.len(), self.stripes.len(), "one bit per stripe");
+        assert_eq!(bits.len(), self.len(), "one bit per stripe");
         let want = self.geometry.head_position_for(d) as i64;
         assert_eq!(
             self.believed_head, want,
@@ -185,8 +309,15 @@ impl StripeArray {
         );
         let port = self.geometry.port_of_domain(d);
         let slot = self.geometry.port_slot(port);
+        if self.is_pristine() {
+            // Writing the value a pristine stripe already holds changes
+            // no state; anything else forces materialisation.
+            if bits.iter().all(|&b| b == self.pristine_slot_bit(slot)) {
+                return Ok(());
+            }
+        }
         let mut first_err = None;
-        for (s, &b) in self.stripes.iter_mut().zip(bits) {
+        for (s, &b) in self.materialise().iter_mut().zip(bits) {
             if let Err(e) = s.stripe_mut().write_slot(slot, b) {
                 first_err.get_or_insert(e);
             }
@@ -199,10 +330,14 @@ impl StripeArray {
 
     /// True when every stripe's actual offset equals the believed head —
     /// i.e. no unrepaired position error is latent in the group.
+    #[must_use]
     pub fn is_synchronised(&self) -> bool {
-        self.stripes
-            .iter()
-            .all(|s| s.stripe().actual_offset() == self.believed_head && s.stripe().is_aligned())
+        match &self.stripes {
+            Stripes::Pristine { .. } => true,
+            Stripes::Materialised(v) => v.iter().all(|s| {
+                s.stripe().actual_offset() == self.believed_head && s.stripe().is_aligned()
+            }),
+        }
     }
 }
 
@@ -283,13 +418,8 @@ mod tests {
         let err = a.write_bits(3, &[Bit::One; 4]);
         assert_eq!(err, Err(StripeError::Misaligned));
         // The clean stripes were still written.
-        assert_eq!(
-            a.stripe(1)
-                .stripe()
-                .read_slot(a.geometry().port_slot(0))
-                .unwrap(),
-            Bit::One
-        );
+        let slot = a.geometry().port_slot(0);
+        assert_eq!(a.stripe(1).stripe().read_slot(slot).unwrap(), Bit::One);
     }
 
     #[test]
@@ -304,5 +434,69 @@ mod tests {
     fn seek_out_of_range_is_rejected() {
         let mut a = small_array();
         assert!(a.seek(100).is_err());
+    }
+
+    #[test]
+    fn is_empty_is_derived_honestly() {
+        let a = small_array();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn clean_traffic_stays_pristine() {
+        let mut a = small_array();
+        assert!(a.is_pristine());
+        a.seek(a.geometry().head_position_for(3)).unwrap();
+        assert!(a.is_pristine(), "clean in-range seek keeps the fast path");
+        // Reading zeroed data does not materialise either.
+        assert_eq!(a.read_bits(3), vec![Bit::Zero; 4]);
+        assert!(a.is_pristine());
+        // Writing back the value already held is a no-op.
+        a.write_bits(3, &[Bit::Zero; 4]).unwrap();
+        assert!(a.is_pristine());
+        // Writing real data finally materialises.
+        a.write_bits(3, &[Bit::One, Bit::Zero, Bit::Zero, Bit::Zero])
+            .unwrap();
+        assert!(!a.is_pristine());
+        assert_eq!(a.read_bits(3)[0], Bit::One);
+    }
+
+    #[test]
+    fn faulty_shift_materialises_with_outcomes_applied() {
+        let mut a = small_array();
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 1 }]);
+        a.shift(2, &mut faults);
+        assert!(!a.is_pristine());
+        assert_eq!(a.stripe(0).stripe().actual_offset(), 3);
+        assert_eq!(a.stripe(3).stripe().actual_offset(), 2);
+    }
+
+    /// The load-bearing equivalence: a lazy array and an eager array fed
+    /// the identical operation sequence (including stochastic outcomes)
+    /// hold bit-identical state at every step.
+    #[test]
+    fn lazy_matches_eager_over_random_clean_trajectories() {
+        let geom = StripeGeometry::new(16, 2).unwrap();
+        let mut lazy = StripeArray::zeroed(geom, 4);
+        let mut eager = StripeArray::zeroed_eager(geom, 4);
+        let mut rng = rtm_util::rng::seeded_rng(7);
+        for _ in 0..200 {
+            let target = (rng.next_u64() % (geom.max_shift() as u64 + 1)) as usize;
+            lazy.seek(target).unwrap();
+            eager.seek(target).unwrap();
+            for d in 0..geom.data_len() {
+                if geom.head_position_for(d) == target {
+                    assert_eq!(lazy.read_bits(d), eager.read_bits(d));
+                }
+            }
+            assert_eq!(lazy.believed_head(), eager.believed_head());
+            assert_eq!(lazy.shift_ops(), eager.shift_ops());
+        }
+        assert!(lazy.is_pristine(), "ideal traffic never materialises");
+        // Force materialisation and compare the full per-stripe state.
+        for i in 0..4 {
+            assert_eq!(lazy.stripe(i), eager.stripe(i));
+        }
     }
 }

@@ -1,0 +1,360 @@
+//! Arena-backed storage for lazily materialised simulation state.
+//!
+//! GB-scale racetrack arrays cannot afford an eagerly allocated object per
+//! stripe group: a 16 GB LLC has four million 512-stripe groups, almost all
+//! of which a real trace never touches. This module provides the two
+//! std-only building blocks the lazy-materialisation layers sit on:
+//!
+//! * [`Arena`] — a chunked bump allocator with stable `u32` handles and a
+//!   free list, so the groups that *are* touched live densely together and
+//!   freed slots are reused instead of growing the heap without bound;
+//! * [`PagedBytes`] — a sparse paged byte map (one byte per group) whose
+//!   untouched pages cost nothing, used for per-group head positions where
+//!   even a one-byte-per-group dense `Vec` would dominate small-state runs.
+//!
+//! Both types track exact occupancy so observability layers can report
+//! materialised-group counts and bytes/stripe honestly.
+
+/// Sentinel handle meaning "no arena slot assigned".
+pub const NO_HANDLE: u32 = u32::MAX;
+
+/// Number of object slots per [`Arena`] chunk.
+///
+/// Chunks are fixed-capacity so handles stay stable: a chunk's backing
+/// `Vec` never reallocates once created, and `handle = chunk * CHUNK + slot`
+/// is a permanent address.
+const ARENA_CHUNK: usize = 1024;
+
+/// A chunked bump allocator with stable `u32` handles and a free list.
+///
+/// Objects are allocated into fixed-capacity chunks; a returned handle
+/// stays valid until [`Arena::free`] is called on it. Freed handles are
+/// recycled in LIFO order by subsequent [`Arena::alloc`] calls, so a
+/// workload that repeatedly materialises and releases groups reaches a
+/// steady-state footprint instead of growing monotonically.
+///
+/// The arena never shrinks its chunk storage; [`Arena::slots`] reports the
+/// high-water number of slots ever allocated and [`Arena::live`] the number
+/// currently in use.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    chunks: Vec<Vec<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Creates an empty arena. No chunk is allocated until the first
+    /// [`Arena::alloc`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            chunks: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Stores `value` and returns its stable handle.
+    ///
+    /// Reuses the most recently freed slot if one exists, otherwise bumps
+    /// into the current chunk (opening a new chunk when full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` slots would be live at once.
+    pub fn alloc(&mut self, value: T) -> u32 {
+        self.live += 1;
+        if let Some(handle) = self.free.pop() {
+            self.chunks[handle as usize / ARENA_CHUNK][handle as usize % ARENA_CHUNK] = value;
+            return handle;
+        }
+        if self
+            .chunks
+            .last()
+            .is_none_or(|chunk| chunk.len() == ARENA_CHUNK)
+        {
+            self.chunks.push(Vec::with_capacity(ARENA_CHUNK));
+        }
+        let chunk_index = self.chunks.len() - 1;
+        let chunk = &mut self.chunks[chunk_index];
+        let handle = chunk_index * ARENA_CHUNK + chunk.len();
+        assert!(handle < NO_HANDLE as usize, "arena handle space exhausted");
+        chunk.push(value);
+        handle as u32
+    }
+
+    /// Returns the slot back to the free list for reuse.
+    ///
+    /// The stored value stays in place (and is only dropped when the slot
+    /// is overwritten by a later [`Arena::alloc`] or the arena is dropped);
+    /// accessing a freed handle is a logic error the arena does not detect.
+    pub fn free(&mut self, handle: u32) {
+        debug_assert!(
+            (handle as usize) < self.slots(),
+            "free of unallocated handle"
+        );
+        self.live -= 1;
+        self.free.push(handle);
+    }
+
+    /// Shared access to the object behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was never allocated.
+    #[must_use]
+    pub fn get(&self, handle: u32) -> &T {
+        &self.chunks[handle as usize / ARENA_CHUNK][handle as usize % ARENA_CHUNK]
+    }
+
+    /// Exclusive access to the object behind `handle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` was never allocated.
+    pub fn get_mut(&mut self, handle: u32) -> &mut T {
+        &mut self.chunks[handle as usize / ARENA_CHUNK][handle as usize % ARENA_CHUNK]
+    }
+
+    /// Number of handles currently live (allocated and not freed).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// High-water number of slots ever allocated (live + free-listed).
+    #[must_use]
+    pub fn slots(&self) -> usize {
+        match self.chunks.last() {
+            None => 0,
+            Some(last) => (self.chunks.len() - 1) * ARENA_CHUNK + last.len(),
+        }
+    }
+
+    /// Approximate bytes owned directly by the arena's slot storage.
+    ///
+    /// Counts chunk capacity times `size_of::<T>()`; heap memory owned *by*
+    /// the stored values (e.g. their internal `Vec`s) is not visible here —
+    /// callers that need it sum a per-object estimate over live handles.
+    #[must_use]
+    pub fn slot_bytes(&self) -> usize {
+        self.chunks.len() * ARENA_CHUNK * std::mem::size_of::<T>()
+    }
+}
+
+/// Number of byte entries per [`PagedBytes`] page.
+const PAGE: usize = 4096;
+
+/// Byte value marking a never-written entry inside an allocated page.
+const UNTOUCHED: u8 = 0xFF;
+
+/// A sparse, paged byte map: `len` logical entries, default value `0`,
+/// with pages allocated only when an entry is first written.
+///
+/// Entries can hold values `0..=0xFE`; `0xFF` is reserved internally as
+/// the "never written" sentinel, which lets the map distinguish an entry
+/// explicitly set to `0` from one still at its default — the basis for
+/// exact materialised-entry accounting at zero extra memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PagedBytes {
+    pages: Vec<Option<Box<[u8]>>>,
+    len: usize,
+    touched: usize,
+}
+
+impl PagedBytes {
+    /// Creates a map of `len` entries, all at the default value `0`,
+    /// allocating only the (tiny) page directory.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        Self {
+            pages: vec![None; len.div_ceil(PAGE)],
+            len,
+            touched: 0,
+        }
+    }
+
+    /// Number of logical entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map has zero entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads entry `index`, returning `0` for never-written entries
+    /// without allocating their page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> u8 {
+        assert!(index < self.len, "PagedBytes index {index} out of range");
+        match &self.pages[index / PAGE] {
+            None => 0,
+            Some(page) => match page[index % PAGE] {
+                UNTOUCHED => 0,
+                value => value,
+            },
+        }
+    }
+
+    /// Whether entry `index` has ever been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    #[must_use]
+    pub fn is_touched(&self, index: usize) -> bool {
+        assert!(index < self.len, "PagedBytes index {index} out of range");
+        self.pages[index / PAGE]
+            .as_ref()
+            .is_some_and(|page| page[index % PAGE] != UNTOUCHED)
+    }
+
+    /// Writes entry `index`, faulting its page in on first touch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len` or if `value` is `0xFF` (reserved).
+    pub fn set(&mut self, index: usize, value: u8) {
+        assert!(index < self.len, "PagedBytes index {index} out of range");
+        assert!(
+            value != UNTOUCHED,
+            "0xFF is reserved as the untouched sentinel"
+        );
+        let page = self.pages[index / PAGE]
+            .get_or_insert_with(|| vec![UNTOUCHED; PAGE].into_boxed_slice());
+        if page[index % PAGE] == UNTOUCHED {
+            self.touched += 1;
+        }
+        page[index % PAGE] = value;
+    }
+
+    /// Exact number of entries ever written.
+    #[must_use]
+    pub fn touched(&self) -> usize {
+        self.touched
+    }
+
+    /// Number of pages currently allocated.
+    #[must_use]
+    pub fn pages_allocated(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Approximate heap bytes held by the map (directory + allocated pages).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.pages.len() * std::mem::size_of::<Option<Box<[u8]>>>() + self.pages_allocated() * PAGE
+    }
+
+    /// Resets every entry to the default and releases all pages.
+    pub fn clear(&mut self) {
+        for page in &mut self.pages {
+            *page = None;
+        }
+        self.touched = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_handles_are_stable_across_growth() {
+        let mut arena = Arena::new();
+        let handles: Vec<u32> = (0..3000u32).map(|i| arena.alloc(i * 7)).collect();
+        assert_eq!(arena.live(), 3000);
+        assert_eq!(arena.slots(), 3000);
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(*arena.get(h), i as u32 * 7);
+        }
+    }
+
+    #[test]
+    fn arena_free_list_reuses_slots() {
+        let mut arena = Arena::new();
+        let a = arena.alloc("a".to_string());
+        let b = arena.alloc("b".to_string());
+        arena.free(a);
+        assert_eq!(arena.live(), 1);
+        let c = arena.alloc("c".to_string());
+        assert_eq!(c, a, "freed slot is recycled");
+        assert_eq!(arena.get(c), "c");
+        assert_eq!(arena.get(b), "b");
+        assert_eq!(arena.slots(), 2, "no new slot was opened");
+    }
+
+    #[test]
+    fn arena_get_mut_mutates_in_place() {
+        let mut arena = Arena::new();
+        let h = arena.alloc(vec![1, 2, 3]);
+        arena.get_mut(h).push(4);
+        assert_eq!(arena.get(h), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn paged_bytes_defaults_without_allocating() {
+        let map = PagedBytes::new(1 << 20);
+        assert_eq!(map.len(), 1 << 20);
+        assert!(!map.is_empty());
+        assert_eq!(map.get(0), 0);
+        assert_eq!(map.get((1 << 20) - 1), 0);
+        assert_eq!(map.pages_allocated(), 0);
+        assert_eq!(map.touched(), 0);
+    }
+
+    #[test]
+    fn paged_bytes_tracks_exact_touch_counts() {
+        let mut map = PagedBytes::new(10_000);
+        map.set(5, 3);
+        map.set(5, 0); // rewrite, not a new touch
+        map.set(9_999, 7);
+        assert_eq!(map.touched(), 2);
+        assert_eq!(map.get(5), 0);
+        assert_eq!(map.get(9_999), 7);
+        assert!(map.is_touched(5));
+        assert!(!map.is_touched(6));
+        assert_eq!(map.pages_allocated(), 2);
+    }
+
+    #[test]
+    fn paged_bytes_distinguishes_explicit_zero_from_default() {
+        let mut map = PagedBytes::new(64);
+        assert!(!map.is_touched(1));
+        map.set(1, 0);
+        assert!(map.is_touched(1));
+        assert_eq!(map.get(1), 0);
+    }
+
+    #[test]
+    fn paged_bytes_clear_releases_pages() {
+        let mut map = PagedBytes::new(10_000);
+        map.set(1, 1);
+        map.set(5_000, 2);
+        map.clear();
+        assert_eq!(map.touched(), 0);
+        assert_eq!(map.pages_allocated(), 0);
+        assert_eq!(map.get(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn paged_bytes_bounds_checked() {
+        let _ = PagedBytes::new(8).get(8);
+    }
+}

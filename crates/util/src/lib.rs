@@ -16,7 +16,10 @@
 //! * [`rng`] — deterministic seeding utilities so every experiment is
 //!   reproducible bit-for-bit;
 //! * [`check`] — a tiny seeded property-check harness the test suites
-//!   use in place of an external framework (offline builds).
+//!   use in place of an external framework (offline builds);
+//! * [`arena`] — chunked arena + sparse paged byte map backing the lazy
+//!   stripe-group materialisation at GB-scale capacities;
+//! * [`sys`] — std-only process introspection (peak RSS from procfs).
 //!
 //! # Examples
 //!
@@ -33,9 +36,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod check;
 pub mod fit;
 pub mod math;
 pub mod rng;
 pub mod stats;
+pub mod sys;
 pub mod units;
