@@ -246,6 +246,13 @@ fn main() {
     record("convolution", "analytic", t_conv, div, tol);
     eprintln!("end-of-run misalignment: predicted {predicted:.4e}, observed {observed:.4e}");
 
+    // The parity gate runs before the artefacts are written, so a
+    // failing `--check` run can never leave fresh baselines behind.
+    if check && !all_within {
+        eprintln!("ENGINE PARITY REGRESSION: divergence beyond 3-sigma tolerance");
+        std::process::exit(1);
+    }
+
     // ---- artefacts --------------------------------------------------
     let rows: Vec<Json> = legs
         .iter()
@@ -280,9 +287,5 @@ fn main() {
             std::process::exit(2);
         }
         eprintln!("wrote {}", path.display());
-    }
-    if check && !all_within {
-        eprintln!("ENGINE PARITY REGRESSION: divergence beyond 3-sigma tolerance");
-        std::process::exit(1);
     }
 }

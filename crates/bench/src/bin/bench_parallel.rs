@@ -158,6 +158,13 @@ fn main() {
         ],
     );
 
+    // The determinism gate runs before the artefact is written, so a
+    // failing run can never leave a fresh baseline behind.
+    if !all_identical {
+        eprintln!("DETERMINISM REGRESSION: multi-thread output differs");
+        std::process::exit(1);
+    }
+
     let mut doc = Json::obj(vec![
         ("schema", Json::Str("rtm-bench-parallel/v1".to_string())),
         ("threads", Json::Num(threads as f64)),
@@ -172,8 +179,4 @@ fn main() {
         std::process::exit(2);
     }
     eprintln!("wrote {}", out.display());
-    if !all_identical {
-        eprintln!("DETERMINISM REGRESSION: multi-thread output differs");
-        std::process::exit(1);
-    }
 }

@@ -23,13 +23,18 @@
 //! for fig4/ablation PDFs and the fig14 sampling path (default:
 //! analytic closed form); `--policy fcfs|fr-fcfs|shift-aware` narrows
 //! the `serve` experiment's report to one scheduling policy (FCFS rows
-//! stay as the baseline).
+//! stay as the baseline); `--tenants N` switches the `serve`
+//! experiment into the scaled multi-tenant front-door mode (N tenant
+//! sessions with token-bucket admission control, per-class latency
+//! percentiles and fairness), with `--classes SPEC` choosing the SLO
+//! class mix (for example `latency:1,throughput:2`).
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
-    ablation, design, energy_exp, errormodel, motivation, performance, reliability_exp, serving,
-    RtVariant, SimSweep, SweepSettings,
+    ablation, design, energy_exp, errormodel, frontdoor, motivation, performance, reliability_exp,
+    serving, RtVariant, SimSweep, SweepSettings,
 };
+use rtm_front::ClassSpec;
 use rtm_mem::hierarchy::LlcChoice;
 use rtm_model::analytic::Engine;
 use rtm_serve::SchedPolicy;
@@ -46,6 +51,8 @@ struct Options {
     accesses: Option<u64>,
     engine: Engine,
     policy: Option<SchedPolicy>,
+    tenants: Option<u32>,
+    classes: Option<ClassSpec>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -60,6 +67,8 @@ fn parse_args() -> Result<Options, String> {
     let mut accesses = None;
     let mut engine = Engine::default();
     let mut policy = None;
+    let mut tenants = None;
+    let mut classes = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,6 +132,20 @@ fn parse_args() -> Result<Options, String> {
                     "--policy: unknown policy {v} (fcfs, fr-fcfs, shift-aware)"
                 ))?);
             }
+            "--tenants" => {
+                let v = args.next().ok_or("--tenants needs a count")?;
+                let n: u32 = v
+                    .parse()
+                    .map_err(|_| format!("--tenants: not a number: {v}"))?;
+                if n == 0 {
+                    return Err("--tenants must be positive".into());
+                }
+                tenants = Some(n);
+            }
+            "--classes" => {
+                let v = args.next().ok_or("--classes needs a spec")?;
+                classes = Some(ClassSpec::parse(&v).map_err(|e| format!("--classes: {e}"))?);
+            }
             "--quick" => quick = true,
             "--list" => {
                 println!("all");
@@ -149,6 +172,8 @@ fn parse_args() -> Result<Options, String> {
         accesses,
         engine,
         policy,
+        tenants,
+        classes,
     })
 }
 
@@ -216,7 +241,31 @@ fn main() {
     } else {
         None
     };
-    let serve_sweep = if wanted("serve") {
+    // `--tenants` switches the serve experiment into the scaled
+    // multi-tenant front-door mode; the classic four-tenant policy ×
+    // workload × scheme sweep runs otherwise.
+    let front_sweep = if let (true, Some(tenants)) = (wanted("serve"), opts.tenants) {
+        let mut s = frontdoor::FrontSettings::for_tenants(tenants, opts.quick);
+        if let Some(classes) = &opts.classes {
+            s.classes = classes.clone();
+        }
+        eprintln!(
+            "running front-door sweep ({} tenants [{}] x {} policies x {} offered requests)...",
+            s.tenants,
+            s.classes,
+            SchedPolicy::ALL.len(),
+            s.offered
+        );
+        let mut sweep = frontdoor::FrontSweep::run(&s);
+        frontdoor::record_front_labels(&sweep);
+        if let Some(p) = opts.policy {
+            sweep.cells.retain(|c| c.policy == p);
+        }
+        Some(sweep)
+    } else {
+        None
+    };
+    let serve_sweep = if wanted("serve") && opts.tenants.is_none() {
         let s = if opts.quick {
             let mut s = serving::ServeSettings::quick();
             s.workloads = None; // all workloads, short runs
@@ -280,6 +329,9 @@ fn main() {
         }
         if let Some(sweep) = &serve_sweep {
             write("serve", serving::serving_csv(sweep));
+        }
+        if let Some(sweep) = &front_sweep {
+            write("serve", frontdoor::front_csv(sweep));
         }
         if opts.attribution {
             let dump = |name: &str, table: &rtm_obs::attrib::AttributionTable| {
@@ -381,6 +433,9 @@ fn main() {
         ablation::render_ablations_with_engine(mc_trials / 4, 2015, 5.12e9, opts.engine)
     });
     section("serve", &|| {
+        if let Some(sweep) = &front_sweep {
+            return frontdoor::render_front(sweep);
+        }
         let sweep = serve_sweep.as_ref().expect("sweep ran");
         let mut out = serving::render_serving(sweep);
         if opts.attribution {

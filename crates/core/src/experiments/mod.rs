@@ -10,6 +10,7 @@
 //! | [`energy_exp`] | Fig. 17 (LLC dynamic energy), Fig. 18 (total energy) |
 //! | [`ablation`] | drive-ratio, variation-scale, strength and STS ablations the paper discusses in prose |
 //! | [`serving`] | beyond-paper serving-layer study: scheduling policy × workload × protection scheme |
+//! | [`frontdoor`] | beyond-paper front-door study: ≥10k-tenant admission control × scheduling policy |
 //!
 //! Every driver returns typed rows plus a rendered text table so the
 //! `repro` binary and EXPERIMENTS.md stay in lock-step with the code.
@@ -18,6 +19,7 @@ pub mod ablation;
 pub mod design;
 pub mod energy_exp;
 pub mod errormodel;
+pub mod frontdoor;
 pub mod motivation;
 pub mod performance;
 pub mod reliability_exp;

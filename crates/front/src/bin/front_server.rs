@@ -1,0 +1,108 @@
+//! Standalone front-door server: answers a recorded request stream.
+//!
+//! Reads a `Hello + Request* + Fin` frame stream (stdin by default),
+//! replays it through the admission path and the serving simulator,
+//! and writes `Response* + ClassSummary* + Summary + Fin` (stdout by
+//! default). The whole input is consumed before the first response
+//! byte is written, so the exchange cannot deadlock over a pipe pair.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::process::ExitCode;
+
+use rtm_front::proto::{read_frames, write_frames};
+use rtm_front::wire::serve_frames;
+use rtm_serve::SchedPolicy;
+
+struct Options {
+    input: Option<String>,
+    output: Option<String>,
+    policy: SchedPolicy,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: front-server [--in FILE] [--out FILE] [--policy fcfs|fr-fcfs|shift-aware]\n\
+         \n\
+         Reads a recorded front-door request stream (default: stdin),\n\
+         serves it, and writes the response stream (default: stdout)."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        input: None,
+        output: None,
+        policy: SchedPolicy::ShiftAware,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--in" => opts.input = Some(args.next().unwrap_or_else(|| usage())),
+            "--out" => opts.output = Some(args.next().unwrap_or_else(|| usage())),
+            "--policy" => {
+                let name = args.next().unwrap_or_else(|| usage());
+                match SchedPolicy::by_name(&name) {
+                    Some(p) => opts.policy = p,
+                    None => {
+                        eprintln!("front-server: unknown policy `{name}`");
+                        usage();
+                    }
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("front-server: unknown argument `{other}`");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+fn run(opts: &Options) -> io::Result<ExitCode> {
+    let frames = match &opts.input {
+        Some(path) => read_frames(&mut File::open(path)?)?,
+        None => read_frames(&mut io::stdin().lock())?,
+    };
+    let (result, response) = match serve_frames(&frames, opts.policy) {
+        Ok(done) => done,
+        Err(e) => {
+            eprintln!("front-server: {e}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    match &opts.output {
+        Some(path) => write_frames(&mut File::create(path)?, &response)?,
+        None => {
+            let mut out = io::stdout().lock();
+            write_frames(&mut out, &response)?;
+            out.flush()?;
+        }
+    }
+    eprintln!(
+        "front-server: {} tenants, {} offered -> {} admitted, {} shed, {} deferrals, \
+         {} cycles, fairness {:.2} ({})",
+        result.tenants,
+        result.admitted() + result.shed(),
+        result.admitted(),
+        result.shed(),
+        result.deferred(),
+        result.serve.cycles,
+        result.fairness_ratio(),
+        opts.policy.label(),
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    match run(&opts) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("front-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! SLO classes and the tenant-to-class assignment spec.
+
+use std::fmt;
+
+/// Service-level objective class of a tenant session.
+///
+/// The class picks the tenant's token-bucket parameters relative to its
+/// fair share of the backend capacity: `latency` buys headroom and
+/// sheds instead of queueing stale work, `throughput` buys burst depth
+/// and patience, `besteffort` gets the leftovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Interactive: 2x fair-share rate, shallow burst, sheds quickly.
+    Latency,
+    /// Batch-friendly: 1.2x fair-share rate, deep burst, defers long.
+    Throughput,
+    /// Scavenger: 0.6x fair-share rate, minimal burst, medium patience.
+    BestEffort,
+}
+
+/// Admission parameters of one SLO class, relative to the tenant's
+/// fair share of backend capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassParams {
+    /// Token refill rate as a multiple of the fair share.
+    pub rate_mult: f64,
+    /// Bucket depth in whole tokens.
+    pub burst: u64,
+    /// Deferral patience in token periods: a request that cannot get a
+    /// token within this many refill periods of its arrival is shed.
+    pub defer_periods: u64,
+}
+
+impl SloClass {
+    /// Every class, in canonical order.
+    pub const ALL: [SloClass; 3] = [
+        SloClass::Latency,
+        SloClass::Throughput,
+        SloClass::BestEffort,
+    ];
+
+    /// Stable lowercase label (also the wire/CLI spelling).
+    pub fn label(self) -> &'static str {
+        match self {
+            SloClass::Latency => "latency",
+            SloClass::Throughput => "throughput",
+            SloClass::BestEffort => "besteffort",
+        }
+    }
+
+    /// Parses a label produced by [`Self::label`].
+    pub fn by_name(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|c| c.label() == name)
+    }
+
+    /// Dense index into per-class tables (canonical order).
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Latency => 0,
+            SloClass::Throughput => 1,
+            SloClass::BestEffort => 2,
+        }
+    }
+
+    /// Wire encoding (one byte).
+    pub fn code(self) -> u8 {
+        self.index() as u8
+    }
+
+    /// Decodes a wire byte.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
+    }
+
+    /// The class's admission parameters.
+    pub fn params(self) -> ClassParams {
+        match self {
+            SloClass::Latency => ClassParams {
+                rate_mult: 2.0,
+                burst: 4,
+                defer_periods: 1,
+            },
+            SloClass::Throughput => ClassParams {
+                rate_mult: 1.2,
+                burst: 8,
+                defer_periods: 32,
+            },
+            SloClass::BestEffort => ClassParams {
+                rate_mult: 0.6,
+                burst: 2,
+                defer_periods: 8,
+            },
+        }
+    }
+}
+
+impl fmt::Display for SloClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Weighted class mix, e.g. `latency:1,throughput:2,besteffort:1`.
+///
+/// Tenants are assigned classes by a deterministic weighted
+/// round-robin over the spec (the same expansion
+/// `rtm_trace::MixedTraceGenerator` uses for profiles), so the mix of
+/// a 10k-tenant population matches the weights exactly up to rounding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassSpec {
+    entries: Vec<(SloClass, u32)>,
+    schedule: Vec<SloClass>,
+}
+
+impl ClassSpec {
+    /// Builds a spec from explicit `(class, weight)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no entry has positive weight or a class repeats.
+    pub fn new(entries: &[(SloClass, u32)]) -> Self {
+        assert!(
+            entries.iter().any(|(_, w)| *w > 0),
+            "at least one positive weight"
+        );
+        for (i, (c, _)) in entries.iter().enumerate() {
+            assert!(
+                entries[i + 1..].iter().all(|(o, _)| o != c),
+                "class {c} repeated in spec"
+            );
+        }
+        let mut remaining: Vec<u32> = entries.iter().map(|(_, w)| *w).collect();
+        let mut schedule = Vec::new();
+        while remaining.iter().any(|&w| w > 0) {
+            for (i, w) in remaining.iter_mut().enumerate() {
+                if *w > 0 {
+                    *w -= 1;
+                    schedule.push(entries[i].0);
+                }
+            }
+        }
+        Self {
+            entries: entries.to_vec(),
+            schedule,
+        }
+    }
+
+    /// The default mix: every class with weight 1.
+    pub fn balanced() -> Self {
+        Self::new(&[
+            (SloClass::Latency, 1),
+            (SloClass::Throughput, 1),
+            (SloClass::BestEffort, 1),
+        ])
+    }
+
+    /// Parses `name[:weight]` entries separated by commas. A missing
+    /// weight means 1; an empty string means [`Self::balanced`].
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if spec.trim().is_empty() {
+            return Ok(Self::balanced());
+        }
+        let mut entries = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            let (name, weight) = match part.split_once(':') {
+                Some((n, w)) => {
+                    let w: u32 = w
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad weight in `{part}`"))?;
+                    (n.trim(), w)
+                }
+                None => (part, 1),
+            };
+            let class = SloClass::by_name(name).ok_or_else(|| {
+                format!("unknown class `{name}` (expected latency/throughput/besteffort)")
+            })?;
+            if entries.iter().any(|(c, _)| *c == class) {
+                return Err(format!("class `{name}` repeated"));
+            }
+            entries.push((class, weight));
+        }
+        if !entries.iter().any(|(_, w)| *w > 0) {
+            return Err("at least one class needs a positive weight".into());
+        }
+        Ok(Self::new(&entries))
+    }
+
+    /// The `(class, weight)` entries in spec order.
+    pub fn entries(&self) -> &[(SloClass, u32)] {
+        &self.entries
+    }
+
+    /// Classes that can actually receive tenants (positive weight), in
+    /// canonical order.
+    pub fn active_classes(&self) -> Vec<SloClass> {
+        let mut present: Vec<SloClass> = self
+            .entries
+            .iter()
+            .filter(|(_, w)| *w > 0)
+            .map(|(c, _)| *c)
+            .collect();
+        present.sort_by_key(|c| c.index());
+        present
+    }
+
+    /// The class of a tenant id under the round-robin assignment.
+    pub fn class_of(&self, tenant: u32) -> SloClass {
+        self.schedule[tenant as usize % self.schedule.len()]
+    }
+
+    /// How many of `tenants` land in `class`.
+    pub fn population(&self, class: SloClass, tenants: u32) -> u32 {
+        let len = self.schedule.len() as u32;
+        let per_cycle = self.schedule.iter().filter(|&&c| c == class).count() as u32;
+        let full = tenants / len;
+        let tail = self.schedule[..(tenants % len) as usize]
+            .iter()
+            .filter(|&&c| c == class)
+            .count() as u32;
+        full * per_cycle + tail
+    }
+}
+
+impl fmt::Display for ClassSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (c, w)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{c}:{w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in SloClass::ALL {
+            assert_eq!(SloClass::by_name(c.label()), Some(c));
+            assert_eq!(SloClass::from_code(c.code()), Some(c));
+        }
+        assert_eq!(SloClass::by_name("gold"), None);
+        assert_eq!(SloClass::from_code(3), None);
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let spec = ClassSpec::parse("latency:2,besteffort:1").unwrap();
+        assert_eq!(spec.to_string(), "latency:2,besteffort:1");
+        assert_eq!(ClassSpec::parse(&spec.to_string()).unwrap(), spec);
+        assert_eq!(ClassSpec::parse("").unwrap(), ClassSpec::balanced());
+        assert_eq!(
+            ClassSpec::parse("latency,throughput").unwrap().entries(),
+            &[(SloClass::Latency, 1), (SloClass::Throughput, 1)]
+        );
+        assert!(ClassSpec::parse("gold:1").is_err());
+        assert!(ClassSpec::parse("latency:x").is_err());
+        assert!(ClassSpec::parse("latency:0").is_err());
+        assert!(ClassSpec::parse("latency:1,latency:2").is_err());
+    }
+
+    #[test]
+    fn assignment_matches_weights() {
+        let spec = ClassSpec::parse("latency:1,throughput:2,besteffort:1").unwrap();
+        // Expansion: L T B T (weighted round-robin passes).
+        assert_eq!(spec.class_of(0), SloClass::Latency);
+        assert_eq!(spec.class_of(1), SloClass::Throughput);
+        assert_eq!(spec.class_of(2), SloClass::BestEffort);
+        assert_eq!(spec.class_of(3), SloClass::Throughput);
+        assert_eq!(spec.class_of(4), SloClass::Latency);
+        let tenants = 10_000;
+        let total: u32 = SloClass::ALL
+            .iter()
+            .map(|&c| spec.population(c, tenants))
+            .sum();
+        assert_eq!(total, tenants);
+        assert_eq!(spec.population(SloClass::Throughput, tenants), 5_000);
+        let counted = (0..tenants)
+            .filter(|&t| spec.class_of(t) == SloClass::Throughput)
+            .count() as u32;
+        assert_eq!(counted, 5_000);
+    }
+}

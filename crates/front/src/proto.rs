@@ -1,0 +1,607 @@
+//! The compact binary wire protocol between `front-driver` and
+//! `front-server`.
+//!
+//! A conversation is a one-shot exchange over any byte stream (pipe,
+//! socket, file, or the in-memory [`Loopback`]):
+//!
+//! ```text
+//! driver -> server   Hello, Request*, Fin
+//! server -> driver   Response*, ClassSummary*, Summary, Fin
+//! ```
+//!
+//! Every frame is a kind byte followed by fixed-width little-endian
+//! fields (`Hello` additionally carries a length-prefixed class list).
+//! `Request` frames carry the arrival gap relative to the previous
+//! request rather than an absolute cycle, so a recorded stream is
+//! position-independent; the server reconstructs absolute arrival
+//! cycles by exact prefix summation. Floats cross the wire as IEEE-754
+//! bit patterns, so a round trip is bit-exact.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::class::SloClass;
+
+/// Frame kind bytes.
+const KIND_HELLO: u8 = 0x00;
+const KIND_REQUEST: u8 = 0x01;
+const KIND_RESPONSE: u8 = 0x02;
+const KIND_CLASS_SUMMARY: u8 = 0x03;
+const KIND_SUMMARY: u8 = 0x04;
+const KIND_FIN: u8 = 0x05;
+
+/// Outcome of one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Admitted and completed; the response carries the completion
+    /// cycle and total latency.
+    Done,
+    /// Shed at the door.
+    Shed,
+}
+
+impl Verdict {
+    fn code(self) -> u8 {
+        match self {
+            Verdict::Done => 0,
+            Verdict::Shed => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(Verdict::Done),
+            1 => Some(Verdict::Shed),
+            _ => None,
+        }
+    }
+}
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Session setup: everything the server needs to rebuild the
+    /// tenant table the traffic was recorded against.
+    Hello {
+        /// Tenant population.
+        tenants: u32,
+        /// Base seed of the recorded session.
+        seed: u64,
+        /// Request frames that follow.
+        offered: u64,
+        /// Admission window.
+        window: u32,
+        /// Fair-share capacity estimate (requests per kcycle).
+        capacity_req_per_kcycle: u32,
+        /// Think-time multiplier the arrivals were generated with.
+        think_scale: u64,
+        /// `(class, weight)` mix.
+        classes: Vec<(SloClass, u32)>,
+    },
+    /// One recorded arrival.
+    Request {
+        /// Tenant id.
+        tenant: u32,
+        /// The tenant's SLO class.
+        class: SloClass,
+        /// Line address within the tenant-strided space.
+        addr: u64,
+        /// Write (true) or read (false).
+        is_write: bool,
+        /// Arrival gap in cycles since the previous request frame
+        /// (the first frame's gap is its absolute arrival cycle).
+        gap: u32,
+    },
+    /// The server's answer to one request.
+    Response {
+        /// Arrival sequence number (request frame index).
+        seq: u64,
+        /// Admitted-and-completed or shed.
+        verdict: Verdict,
+        /// Completion (or shed-decision) cycle.
+        cycle: u64,
+        /// Arrival-to-completion cycles (0 for shed).
+        total_cycles: u64,
+    },
+    /// Per-class statistics of the whole run.
+    ClassSummary {
+        /// The class.
+        class: SloClass,
+        /// Tenants in the class.
+        tenants: u32,
+        /// Admitted requests.
+        admitted: u64,
+        /// Shed requests.
+        shed: u64,
+        /// Deferral events.
+        deferred: u64,
+        /// Completed requests.
+        completed: u64,
+        /// Median arrival-to-completion latency.
+        p50: u64,
+        /// 95th percentile latency.
+        p95: u64,
+        /// 99th percentile latency.
+        p99: u64,
+    },
+    /// Whole-run totals.
+    Summary {
+        /// Cycle the run finished at.
+        cycles: u64,
+        /// Total admitted.
+        admitted: u64,
+        /// Total shed.
+        shed: u64,
+        /// Total deferral events.
+        deferred: u64,
+        /// Total completed.
+        completed: u64,
+        /// Fairness ratio as IEEE-754 bits (bit-exact round trip).
+        fairness_bits: u64,
+    },
+    /// End of stream.
+    Fin,
+}
+
+/// Decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended inside a frame.
+    Truncated {
+        /// Byte offset of the frame that ran short.
+        at: usize,
+    },
+    /// Unknown frame kind byte.
+    BadKind(u8),
+    /// Unknown SLO class byte.
+    BadClass(u8),
+    /// Unknown verdict byte.
+    BadVerdict(u8),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated { at } => write!(f, "frame truncated at byte {at}"),
+            ProtoError::BadKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            ProtoError::BadClass(c) => write!(f, "unknown class code {c:#04x}"),
+            ProtoError::BadVerdict(v) => write!(f, "unknown verdict code {v:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Appends one encoded frame to `out`.
+pub fn encode(frame: &Frame, out: &mut Vec<u8>) {
+    match frame {
+        Frame::Hello {
+            tenants,
+            seed,
+            offered,
+            window,
+            capacity_req_per_kcycle,
+            think_scale,
+            classes,
+        } => {
+            out.push(KIND_HELLO);
+            out.extend_from_slice(&tenants.to_le_bytes());
+            out.extend_from_slice(&seed.to_le_bytes());
+            out.extend_from_slice(&offered.to_le_bytes());
+            out.extend_from_slice(&window.to_le_bytes());
+            out.extend_from_slice(&capacity_req_per_kcycle.to_le_bytes());
+            out.extend_from_slice(&think_scale.to_le_bytes());
+            out.push(classes.len() as u8);
+            for (class, weight) in classes {
+                out.push(class.code());
+                out.extend_from_slice(&weight.to_le_bytes());
+            }
+        }
+        Frame::Request {
+            tenant,
+            class,
+            addr,
+            is_write,
+            gap,
+        } => {
+            out.push(KIND_REQUEST);
+            out.extend_from_slice(&tenant.to_le_bytes());
+            out.push(class.code());
+            out.extend_from_slice(&addr.to_le_bytes());
+            out.push(u8::from(*is_write));
+            out.extend_from_slice(&gap.to_le_bytes());
+        }
+        Frame::Response {
+            seq,
+            verdict,
+            cycle,
+            total_cycles,
+        } => {
+            out.push(KIND_RESPONSE);
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.push(verdict.code());
+            out.extend_from_slice(&cycle.to_le_bytes());
+            out.extend_from_slice(&total_cycles.to_le_bytes());
+        }
+        Frame::ClassSummary {
+            class,
+            tenants,
+            admitted,
+            shed,
+            deferred,
+            completed,
+            p50,
+            p95,
+            p99,
+        } => {
+            out.push(KIND_CLASS_SUMMARY);
+            out.push(class.code());
+            out.extend_from_slice(&tenants.to_le_bytes());
+            for v in [admitted, shed, deferred, completed, p50, p95, p99] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Summary {
+            cycles,
+            admitted,
+            shed,
+            deferred,
+            completed,
+            fairness_bits,
+        } => {
+            out.push(KIND_SUMMARY);
+            for v in [cycles, admitted, shed, deferred, completed, fairness_bits] {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        Frame::Fin => out.push(KIND_FIN),
+    }
+}
+
+/// Encodes a frame sequence into one buffer.
+pub fn encode_all(frames: &[Frame]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for f in frames {
+        encode(f, &mut out);
+    }
+    out
+}
+
+/// A zero-copy frame decoder over a byte buffer.
+#[derive(Debug, Clone)]
+pub struct FrameReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameReader<'a> {
+    /// Starts decoding at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Byte offset of the next frame.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize, start: usize) -> Result<&'a [u8], ProtoError> {
+        if self.pos + n > self.buf.len() {
+            return Err(ProtoError::Truncated { at: start });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, start: usize) -> Result<u8, ProtoError> {
+        Ok(self.take(1, start)?[0])
+    }
+
+    fn u32(&mut self, start: usize) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4, start)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, start: usize) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8, start)?.try_into().unwrap()))
+    }
+
+    fn class(&mut self, start: usize) -> Result<SloClass, ProtoError> {
+        let code = self.u8(start)?;
+        SloClass::from_code(code).ok_or(ProtoError::BadClass(code))
+    }
+
+    /// Decodes the next frame, or `None` at a clean end of buffer.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        if self.pos >= self.buf.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let kind = self.u8(start)?;
+        let frame = match kind {
+            KIND_HELLO => {
+                let tenants = self.u32(start)?;
+                let seed = self.u64(start)?;
+                let offered = self.u64(start)?;
+                let window = self.u32(start)?;
+                let capacity_req_per_kcycle = self.u32(start)?;
+                let think_scale = self.u64(start)?;
+                let n = self.u8(start)?;
+                let mut classes = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let class = self.class(start)?;
+                    let weight = self.u32(start)?;
+                    classes.push((class, weight));
+                }
+                Frame::Hello {
+                    tenants,
+                    seed,
+                    offered,
+                    window,
+                    capacity_req_per_kcycle,
+                    think_scale,
+                    classes,
+                }
+            }
+            KIND_REQUEST => Frame::Request {
+                tenant: self.u32(start)?,
+                class: self.class(start)?,
+                addr: self.u64(start)?,
+                is_write: self.u8(start)? != 0,
+                gap: self.u32(start)?,
+            },
+            KIND_RESPONSE => {
+                let seq = self.u64(start)?;
+                let code = self.u8(start)?;
+                let verdict = Verdict::from_code(code).ok_or(ProtoError::BadVerdict(code))?;
+                Frame::Response {
+                    seq,
+                    verdict,
+                    cycle: self.u64(start)?,
+                    total_cycles: self.u64(start)?,
+                }
+            }
+            KIND_CLASS_SUMMARY => Frame::ClassSummary {
+                class: self.class(start)?,
+                tenants: self.u32(start)?,
+                admitted: self.u64(start)?,
+                shed: self.u64(start)?,
+                deferred: self.u64(start)?,
+                completed: self.u64(start)?,
+                p50: self.u64(start)?,
+                p95: self.u64(start)?,
+                p99: self.u64(start)?,
+            },
+            KIND_SUMMARY => Frame::Summary {
+                cycles: self.u64(start)?,
+                admitted: self.u64(start)?,
+                shed: self.u64(start)?,
+                deferred: self.u64(start)?,
+                completed: self.u64(start)?,
+                fairness_bits: self.u64(start)?,
+            },
+            KIND_FIN => Frame::Fin,
+            other => return Err(ProtoError::BadKind(other)),
+        };
+        Ok(Some(frame))
+    }
+}
+
+/// Decodes a whole buffer into frames.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<Frame>, ProtoError> {
+    let mut reader = FrameReader::new(buf);
+    let mut frames = Vec::new();
+    while let Some(f) = reader.next_frame()? {
+        frames.push(f);
+    }
+    Ok(frames)
+}
+
+/// Writes encoded frames to a byte sink.
+///
+/// # Errors
+///
+/// Propagates the sink's I/O error.
+pub fn write_frames<W: Write>(w: &mut W, frames: &[Frame]) -> io::Result<()> {
+    let buf = encode_all(frames);
+    w.write_all(&buf)
+}
+
+/// Reads a byte stream to its end and decodes every frame.
+///
+/// # Errors
+///
+/// Returns the source's I/O error, or a decode error mapped onto
+/// `io::ErrorKind::InvalidData`.
+pub fn read_frames<R: Read>(r: &mut R) -> io::Result<Vec<Frame>> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    decode_all(&buf).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// An in-memory byte stream: what one side writes, the other reads.
+///
+/// The simplest possible transport for exercising the full
+/// encode-transport-decode path without processes or sockets.
+#[derive(Debug, Default, Clone)]
+pub struct Loopback {
+    buf: VecDeque<u8>,
+}
+
+impl Loopback {
+    /// An empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the channel is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Write for Loopback {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.buf.extend(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Read for Loopback {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.buf.len());
+        for slot in buf.iter_mut().take(n) {
+            *slot = self.buf.pop_front().expect("length checked");
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_util::check::{run_cases, Gen};
+
+    fn arbitrary_frame(g: &mut Gen) -> Frame {
+        let class = |g: &mut Gen| SloClass::ALL[g.usize_in(0, 2)];
+        match g.u64_in(0, 5) {
+            0 => Frame::Hello {
+                tenants: g.u32_in(1, u32::MAX),
+                seed: g.u64(),
+                offered: g.u64(),
+                window: g.u32_in(0, u32::MAX),
+                capacity_req_per_kcycle: g.u32_in(0, u32::MAX),
+                think_scale: g.u64(),
+                classes: g.vec_of(0, 3, |g| (class(g), g.u32_in(0, u32::MAX))),
+            },
+            1 => Frame::Request {
+                tenant: g.u32_in(0, u32::MAX),
+                class: class(g),
+                addr: g.u64(),
+                is_write: g.bool(),
+                gap: g.u32_in(0, u32::MAX),
+            },
+            2 => Frame::Response {
+                seq: g.u64(),
+                verdict: if g.bool() {
+                    Verdict::Done
+                } else {
+                    Verdict::Shed
+                },
+                cycle: g.u64(),
+                total_cycles: g.u64(),
+            },
+            3 => Frame::ClassSummary {
+                class: class(g),
+                tenants: g.u32_in(0, u32::MAX),
+                admitted: g.u64(),
+                shed: g.u64(),
+                deferred: g.u64(),
+                completed: g.u64(),
+                p50: g.u64(),
+                p95: g.u64(),
+                p99: g.u64(),
+            },
+            4 => Frame::Summary {
+                cycles: g.u64(),
+                admitted: g.u64(),
+                shed: g.u64(),
+                deferred: g.u64(),
+                completed: g.u64(),
+                fairness_bits: g.f64_in(0.0, 1e9).to_bits(),
+            },
+            _ => Frame::Fin,
+        }
+    }
+
+    #[test]
+    fn encode_decode_identity_over_random_frames() {
+        run_cases(200, |g: &mut Gen| {
+            let frames = g.vec_of(0, 40, arbitrary_frame);
+            let buf = encode_all(&frames);
+            let back = decode_all(&buf).expect("well-formed stream decodes");
+            assert_eq!(back, frames);
+        });
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        run_cases(100, |g: &mut Gen| {
+            let frames = g.vec_of(1, 10, arbitrary_frame);
+            let buf = encode_all(&frames);
+            let cut = g.usize_in(0, buf.len());
+            match decode_all(&buf[..cut]) {
+                Ok(back) => {
+                    // A cut on a frame boundary decodes a prefix.
+                    assert!(back.len() <= frames.len());
+                    assert_eq!(back[..], frames[..back.len()]);
+                }
+                Err(ProtoError::Truncated { at }) => assert!(at <= cut),
+                Err(e) => panic!("unexpected decode error {e}"),
+            }
+        });
+    }
+
+    #[test]
+    fn garbage_kind_and_codes_are_rejected() {
+        assert_eq!(decode_all(&[0xFF]), Err(ProtoError::BadKind(0xFF)));
+        // A request with a bad class byte.
+        let mut buf = Vec::new();
+        encode(
+            &Frame::Request {
+                tenant: 1,
+                class: SloClass::Latency,
+                addr: 2,
+                is_write: false,
+                gap: 3,
+            },
+            &mut buf,
+        );
+        buf[5] = 0x7F; // class byte follows the 4-byte tenant id
+        assert_eq!(decode_all(&buf), Err(ProtoError::BadClass(0x7F)));
+        let mut resp = Vec::new();
+        encode(
+            &Frame::Response {
+                seq: 0,
+                verdict: Verdict::Done,
+                cycle: 0,
+                total_cycles: 0,
+            },
+            &mut resp,
+        );
+        resp[9] = 9; // verdict byte follows the 8-byte seq
+        assert_eq!(decode_all(&resp), Err(ProtoError::BadVerdict(9)));
+    }
+
+    #[test]
+    fn loopback_transports_frames_byte_for_byte() {
+        let frames = vec![
+            Frame::Hello {
+                tenants: 10,
+                seed: 1,
+                offered: 2,
+                window: 3,
+                capacity_req_per_kcycle: 4,
+                think_scale: 5,
+                classes: vec![(SloClass::Latency, 1), (SloClass::BestEffort, 2)],
+            },
+            Frame::Fin,
+        ];
+        let mut chan = Loopback::new();
+        write_frames(&mut chan, &frames).unwrap();
+        assert!(!chan.is_empty());
+        let back = read_frames(&mut chan).unwrap();
+        assert_eq!(back, frames);
+        assert!(chan.is_empty());
+    }
+}

@@ -414,8 +414,8 @@ impl RacetrackLlc {
 
     /// The shift controller of a specific bank. The per-bank serving
     /// path reads these directly so bank-sharded results can be merged
-    /// in bank order, reproducing [`Self::controller_totals`]'s exact
-    /// floating-point summation order.
+    /// in bank order, reproducing the aggregated controller totals'
+    /// exact floating-point summation order.
     ///
     /// # Panics
     ///

@@ -60,4 +60,7 @@ pub use parallel::{
 };
 pub use policy::SchedPolicy;
 pub use queued::{queued_hierarchy, QueuedLlc};
-pub use sim::{LatencySummary, ServeConfig, ServeResult, ServeSim, ATTRIBUTION_COMPONENTS};
+pub use sim::{
+    Completion, LatencySummary, RequestSource, ServeConfig, ServeResult, ServeSim, SourcePoll,
+    ATTRIBUTION_COMPONENTS,
+};

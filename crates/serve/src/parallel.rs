@@ -16,7 +16,7 @@
 //!   shift command streams (entries after the first are marked
 //!   [`ShiftCommand::fused`]: the bank's STS driver stays armed, so a
 //!   required shift skips its stage-2 settle — see
-//!   [`rtm_model::sts::StsTiming::continuation_shift_cycles`]);
+//!   `rtm_model::sts::StsTiming::continuation_shift_cycles`);
 //! * one single-producer/single-consumer ring ([`rtm_par::spsc`]) per
 //!   bank carries commands from the front end to the bank's worker:
 //!   no mutex, no shared tail, one cache line of coordination in each

@@ -320,6 +320,76 @@ impl ServeResult {
     }
 }
 
+/// What a [`RequestSource`] has to offer at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// A request ready to enter admission now.
+    Ready(MemAccess),
+    /// Nothing yet; nothing can become ready before this cycle. The
+    /// cycle must lie strictly in the future. `u64::MAX` means "wake
+    /// me on a completion" and is only legal while the simulator still
+    /// has queued or in-flight work to wake on.
+    NotBefore(u64),
+    /// The source will never produce another request.
+    Exhausted,
+}
+
+/// One retired request, echoed back to the [`RequestSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Sequential admission id (the order `RequestSource::admitted`
+    /// observed).
+    pub id: u64,
+    /// Cycle at which the request completed.
+    pub cycle: u64,
+    /// Enqueue-to-dispatch waiting cycles.
+    pub queue_delay: u64,
+    /// LLC service cycles (shift + array).
+    pub service: u64,
+    /// Memory-fill cycles (0 on a hit).
+    pub fill: u64,
+    /// Enqueue-to-completion cycles.
+    pub total: u64,
+    /// Whether the request was a write.
+    pub is_write: bool,
+}
+
+/// A clock-aware request feed with admission and completion callbacks.
+///
+/// [`ServeSim::run_source`] polls the source at every admission
+/// opportunity, passing the current cycle so the source can make
+/// time-dependent decisions (token buckets, deferral, load shedding)
+/// *before* the bounded per-group queues exert backpressure. Admission
+/// ids are sequential (0, 1, 2, ...) in admission order, so a source
+/// can map completions back to its own bookkeeping with a vector.
+///
+/// Every plain `Iterator<Item = MemAccess>` is a `RequestSource` that
+/// is always ready, keeping the original closed-loop drive unchanged.
+pub trait RequestSource {
+    /// Offers the next request, a wake-up time, or end-of-stream.
+    fn poll(&mut self, now: u64) -> SourcePoll;
+
+    /// Called when the most recent [`SourcePoll::Ready`] request was
+    /// enqueued, with its sequential admission id.
+    fn admitted(&mut self, id: u64, now: u64) {
+        let _ = (id, now);
+    }
+
+    /// Called when an admitted request retires.
+    fn completed(&mut self, completion: &Completion) {
+        let _ = completion;
+    }
+}
+
+impl<I: Iterator<Item = MemAccess>> RequestSource for I {
+    fn poll(&mut self, _now: u64) -> SourcePoll {
+        match self.next() {
+            Some(a) => SourcePoll::Ready(a),
+            None => SourcePoll::Exhausted,
+        }
+    }
+}
+
 /// A request waiting in a stripe-group queue.
 #[derive(Debug, Clone, Copy)]
 struct Queued {
@@ -338,8 +408,11 @@ struct InFlight {
     id: u64,
     client: u8,
     complete_at: u64,
+    queue_delay: u64,
     service_cycles: u64,
+    fill_cycles: u64,
     total_cycles: u64,
+    is_write: bool,
 }
 
 /// The discrete-event serving simulator.
@@ -366,6 +439,9 @@ pub struct ServeSim {
     ready_at: Vec<u64>,
     pending: Option<MemAccess>,
     source_done: bool,
+    /// Earliest cycle the source said it could become ready again
+    /// (cleared on the next successful poll).
+    source_wake: Option<u64>,
     issued: u64,
     completed: u64,
     next_id: u64,
@@ -420,6 +496,7 @@ impl ServeSim {
             ready_at: vec![0; cfg.clients as usize],
             pending: None,
             source_done: false,
+            source_wake: None,
             issued: 0,
             completed: 0,
             next_id: 0,
@@ -454,12 +531,19 @@ impl ServeSim {
 
     /// Runs the event loop until `cfg.requests` complete (or the
     /// source is exhausted) and summarises.
-    pub fn run<I: Iterator<Item = MemAccess>>(mut self, source: &mut I) -> ServeResult {
+    pub fn run<I: Iterator<Item = MemAccess>>(self, source: &mut I) -> ServeResult {
+        self.run_source(source)
+    }
+
+    /// Runs the event loop against a clock-aware [`RequestSource`],
+    /// invoking its admission and completion callbacks. Semantics are
+    /// identical to [`Self::run`] for always-ready sources.
+    pub fn run_source<S: RequestSource + ?Sized>(mut self, source: &mut S) -> ServeResult {
         loop {
             // Fixpoint at the current instant: completions free budget,
             // which admits requests, which dispatch onto free banks.
             loop {
-                let mut progress = self.complete();
+                let mut progress = self.complete(source);
                 progress |= self.admit(source);
                 progress |= self.dispatch();
                 if !progress {
@@ -500,6 +584,14 @@ impl ServeSim {
             if self.ready_at[c] > self.clock && self.outstanding[c] < self.cfg.budget {
                 next = next.min(self.ready_at[c]);
             }
+        } else if !self.source_done && self.issued < self.cfg.requests {
+            // Source promised nothing before this cycle; honour it
+            // unless an earlier completion wakes the loop first.
+            if let Some(t) = self.source_wake {
+                if t > self.clock {
+                    next = next.min(t);
+                }
+            }
         }
         (next != u64::MAX).then_some(next)
     }
@@ -509,9 +601,9 @@ impl ServeSim {
         (a.core as usize) % self.cfg.clients as usize
     }
 
-    /// Retires every in-flight request due by now. Returns whether any
-    /// completed.
-    fn complete(&mut self) -> bool {
+    /// Retires every in-flight request due by now, echoing each
+    /// completion back to the source. Returns whether any completed.
+    fn complete<S: RequestSource + ?Sized>(&mut self, source: &mut S) -> bool {
         let mut any = false;
         let mut i = 0;
         while i < self.in_flight.len() {
@@ -532,6 +624,15 @@ impl ServeSim {
                         service_cycles: f.service_cycles,
                     },
                 );
+                source.completed(&Completion {
+                    id: f.id,
+                    cycle: f.complete_at,
+                    queue_delay: f.queue_delay,
+                    service: f.service_cycles,
+                    fill: f.fill_cycles,
+                    total: f.total_cycles,
+                    is_write: f.is_write,
+                });
                 any = true;
             } else {
                 i += 1;
@@ -543,12 +644,25 @@ impl ServeSim {
     /// Admits head-of-line requests from the source while the client
     /// has budget, its think time has expired, and the target queue has
     /// room. Returns whether any request was enqueued.
-    fn admit<I: Iterator<Item = MemAccess>>(&mut self, source: &mut I) -> bool {
+    fn admit<S: RequestSource + ?Sized>(&mut self, source: &mut S) -> bool {
         let mut any = false;
         while self.issued < self.cfg.requests {
             if self.pending.is_none() && !self.source_done {
-                self.pending = source.next();
-                self.source_done = self.pending.is_none();
+                match source.poll(self.clock) {
+                    SourcePoll::Ready(a) => {
+                        self.pending = Some(a);
+                        self.source_wake = None;
+                    }
+                    SourcePoll::NotBefore(t) => {
+                        debug_assert!(t > self.clock, "source wake-up must advance");
+                        self.source_wake = Some(t);
+                        break;
+                    }
+                    SourcePoll::Exhausted => {
+                        self.source_done = true;
+                        self.source_wake = None;
+                    }
+                }
             }
             let Some(a) = self.pending else { break };
             let c = (a.core as usize) % self.cfg.clients as usize;
@@ -601,6 +715,7 @@ impl ServeSim {
             }
             self.issued += 1;
             self.pending = None;
+            source.admitted(id, self.clock);
             self.registry.counter_add("serve.enqueued", 1);
             rtm_obs::record_event(
                 self.clock,
@@ -717,8 +832,11 @@ impl ServeSim {
                 id: req.id,
                 client: req.client,
                 complete_at,
+                queue_delay,
                 service_cycles,
+                fill_cycles: fill,
                 total_cycles: queue_delay + service_cycles + fill,
+                is_write: req.is_write,
             });
             self.peak_in_flight = self.peak_in_flight.max(self.in_flight.len());
             self.queue_delays.push(queue_delay);

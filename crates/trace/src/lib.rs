@@ -26,7 +26,9 @@ pub mod generator;
 pub mod mixed;
 pub mod profile;
 pub mod replay;
+pub mod session;
 
 pub use generator::{MemAccess, TraceGenerator};
 pub use mixed::MixedTraceGenerator;
 pub use profile::WorkloadProfile;
+pub use session::TenantStream;

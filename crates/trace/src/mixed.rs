@@ -1,7 +1,8 @@
 //! Multi-tenant trace mixing.
 //!
 //! [`MixedTraceGenerator`] interleaves several per-tenant
-//! [`TraceGenerator`]s into one access stream with a deterministic
+//! [`TraceGenerator`](crate::TraceGenerator)-backed
+//! [`TenantStream`]s into one access stream with a deterministic
 //! weighted round-robin schedule. Each tenant gets its own derived
 //! seed and a disjoint 128 MiB address window; windows are set-aligned
 //! for the paper's LLC geometry, so tenants contend for the same cache
@@ -9,9 +10,9 @@
 //! the contended multi-programmed scenario the serving layer's
 //! schedulers are evaluated under.
 
-use crate::generator::{MemAccess, TraceGenerator};
+use crate::generator::MemAccess;
 use crate::profile::WorkloadProfile;
-use rtm_util::rng::derive_seed;
+use crate::session::TenantStream;
 
 /// Address-space stride between tenants (128 MiB). A multiple of the
 /// LLC set span (128 Ki sets × 64 B lines = 8 MiB), so every tenant's
@@ -21,7 +22,7 @@ pub const TENANT_STRIDE: u64 = 1 << 27;
 /// Interleaves several workload profiles into one multi-tenant stream.
 #[derive(Debug, Clone)]
 pub struct MixedTraceGenerator {
-    tenants: Vec<TraceGenerator>,
+    tenants: Vec<TenantStream>,
     schedule: Vec<usize>,
     pos: usize,
     generated: u64,
@@ -57,10 +58,10 @@ impl MixedTraceGenerator {
             entries.iter().any(|(_, w)| *w > 0),
             "at least one positive weight"
         );
-        let tenants: Vec<TraceGenerator> = entries
+        let tenants: Vec<TenantStream> = entries
             .iter()
             .enumerate()
-            .map(|(i, (p, _))| TraceGenerator::with_cores(*p, derive_seed(seed, i as u64), 1))
+            .map(|(i, (p, _))| TenantStream::new(*p, seed, i as u32))
             .collect();
         let mut remaining: Vec<u32> = entries.iter().map(|(_, w)| *w).collect();
         let mut schedule = Vec::new();
@@ -96,16 +97,13 @@ impl MixedTraceGenerator {
     }
 
     /// Produces the next access: the scheduled tenant's next access,
-    /// relocated into its address window and stamped with the tenant
-    /// index as the core.
+    /// already relocated into its address window and stamped with the
+    /// tenant index as the core by its [`TenantStream`].
     pub fn next_access(&mut self) -> MemAccess {
         let tenant = self.schedule[self.pos];
         self.pos = (self.pos + 1) % self.schedule.len();
-        let mut a = self.tenants[tenant].next_access();
-        a.addr += tenant as u64 * TENANT_STRIDE;
-        a.core = tenant as u8;
         self.generated += 1;
-        a
+        self.tenants[tenant].next_access()
     }
 
     /// Generates `n` accesses into a vector (convenience for tests).
@@ -125,6 +123,8 @@ impl Iterator for MixedTraceGenerator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::generator::TraceGenerator;
+    use rtm_util::rng::derive_seed;
 
     fn profiles(names: &[&str]) -> Vec<WorkloadProfile> {
         names

@@ -12,6 +12,7 @@
 pub use rtm_controller as controller;
 pub use rtm_core as core;
 pub use rtm_cost as cost;
+pub use rtm_front as front;
 pub use rtm_mem as mem;
 pub use rtm_model as model;
 pub use rtm_obs as obs;
