@@ -8,6 +8,7 @@
 //! cargo run --release -p rtm-bench --bin report -- \
 //!     --quick --metrics m.json --events e.json --progress --threads 4
 //! cargo run --release -p rtm-bench --bin report -- --engine mc
+//! cargo run --release -p rtm-bench --bin report -- --fault-model pinning
 //! ```
 //!
 //! Exits non-zero if any claim fails, so this doubles as a regression
@@ -22,6 +23,7 @@ fn main() {
     let mut metrics: Option<std::path::PathBuf> = None;
     let mut events: Option<std::path::PathBuf> = None;
     let mut engine = rtm_model::analytic::Engine::default();
+    let mut fault_model = rtm_track::fault::FaultModelChoice::default();
     let mut args = std::env::args().skip(1);
     let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
         args.next().unwrap_or_else(|| {
@@ -43,6 +45,29 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--fault-model" => {
+                let v = path_arg(&mut args, "--fault-model");
+                match rtm_track::fault::FaultModelChoice::parse(&v) {
+                    Some(f) => fault_model = f,
+                    None => {
+                        let known: Vec<_> = rtm_track::fault::FaultModelChoice::ALL
+                            .iter()
+                            .map(|f| f.name())
+                            .collect();
+                        eprintln!(
+                            "error: --fault-model: unknown fault model {v}; known: {}",
+                            known.join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--list-fault-models" => {
+                for f in rtm_track::fault::FaultModelChoice::ALL {
+                    println!("{}", f.name());
+                }
+                std::process::exit(0);
+            }
             "--threads" => {
                 let n: usize = path_arg(&mut args, "--threads").parse().unwrap_or(0);
                 if n == 0 {
@@ -72,6 +97,7 @@ fn main() {
         SweepSettings::full()
     };
     settings.sample_engine = Some(engine);
+    settings.fault_model = fault_model;
     eprintln!(
         "running sweeps ({} workloads x 13 configurations x {} accesses)...",
         settings.profiles().len(),

@@ -27,12 +27,17 @@
 //! experiment into the scaled multi-tenant front-door mode (N tenant
 //! sessions with token-bucket admission control, per-class latency
 //! percentiles and fairness), with `--classes SPEC` choosing the SLO
-//! class mix (for example `latency:1,throughput:2`).
+//! class mix (for example `latency:1,throughput:2`);
+//! `--fault-model engine|calibrated|pinning` selects the fault process
+//! drawing sampled shift outcomes (sweeps and the `matrix`
+//! experiment); `--scheme NAME` narrows the `matrix` experiment to one
+//! protection scheme (repeatable); `--list-schemes` /
+//! `--list-fault-models` print the accepted vocabularies and exit.
 
 use rtm_bench::{is_known_experiment, EXPERIMENTS};
 use rtm_core::experiments::{
-    ablation, design, energy_exp, errormodel, frontdoor, motivation, performance, reliability_exp,
-    serving, RtVariant, SimSweep, SweepSettings,
+    ablation, design, energy_exp, errormodel, frontdoor, matrix, motivation, performance,
+    reliability_exp, serving, RtVariant, SimSweep, SweepSettings,
 };
 use rtm_front::ClassSpec;
 use rtm_mem::hierarchy::LlcChoice;
@@ -53,6 +58,24 @@ struct Options {
     policy: Option<SchedPolicy>,
     tenants: Option<u32>,
     classes: Option<ClassSpec>,
+    fault_model: Option<rtm_track::fault::FaultModelChoice>,
+    schemes: Option<Vec<matrix::SchemeChoice>>,
+}
+
+fn scheme_names() -> String {
+    matrix::SchemeChoice::ALL
+        .iter()
+        .map(|s| s.name())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn fault_model_names() -> String {
+    rtm_track::fault::FaultModelChoice::ALL
+        .iter()
+        .map(|f| f.name())
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -69,6 +92,8 @@ fn parse_args() -> Result<Options, String> {
     let mut policy = None;
     let mut tenants = None;
     let mut classes = None;
+    let mut fault_model: Option<rtm_track::fault::FaultModelChoice> = None;
+    let mut schemes: Option<Vec<matrix::SchemeChoice>> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -146,6 +171,34 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--classes needs a spec")?;
                 classes = Some(ClassSpec::parse(&v).map_err(|e| format!("--classes: {e}"))?);
             }
+            "--fault-model" => {
+                let v = args.next().ok_or("--fault-model needs a value")?;
+                fault_model =
+                    Some(rtm_track::fault::FaultModelChoice::parse(&v).ok_or(format!(
+                        "--fault-model: unknown fault model {v}; known: {}",
+                        fault_model_names()
+                    ))?);
+            }
+            "--scheme" => {
+                let v = args.next().ok_or("--scheme needs a value")?;
+                let s = matrix::SchemeChoice::parse(&v).ok_or(format!(
+                    "--scheme: unknown scheme {v}; known: {}",
+                    scheme_names()
+                ))?;
+                schemes.get_or_insert_with(Vec::new).push(s);
+            }
+            "--list-schemes" => {
+                for s in matrix::SchemeChoice::ALL {
+                    println!("{}", s.name());
+                }
+                std::process::exit(0);
+            }
+            "--list-fault-models" => {
+                for f in rtm_track::fault::FaultModelChoice::ALL {
+                    println!("{}", f.name());
+                }
+                std::process::exit(0);
+            }
             "--quick" => quick = true,
             "--list" => {
                 println!("all");
@@ -174,6 +227,8 @@ fn parse_args() -> Result<Options, String> {
         policy,
         tenants,
         classes,
+        fault_model,
+        schemes,
     })
 }
 
@@ -211,8 +266,10 @@ fn main() {
         settings.accesses = n;
     }
     // The sweep's per-shift outcome sampling always uses the selected
-    // engine's fault model (observational; timing is unaffected).
+    // engine's fault model (observational; timing is unaffected);
+    // `--fault-model` swaps in a different fault process.
     settings.sample_engine = Some(opts.engine);
+    settings.fault_model = opts.fault_model.unwrap_or_default();
     let mc_trials: u64 = if opts.quick { 200_000 } else { 2_000_000 };
 
     let wanted = |name: &str| opts.experiments.iter().any(|e| e == "all" || e == name);
@@ -262,6 +319,35 @@ fn main() {
             sweep.cells.retain(|c| c.policy == p);
         }
         Some(sweep)
+    } else {
+        None
+    };
+    // The scheme × fault-model matrix: `--scheme` narrows the rows
+    // (repeatable) and an explicit `--fault-model` narrows the columns;
+    // the full 7 × 3 cross runs by default.
+    let matrix_result = if wanted("matrix") {
+        let mut ms = if opts.quick {
+            matrix::MatrixSettings::quick()
+        } else {
+            matrix::MatrixSettings::full()
+        };
+        ms.engine = opts.engine;
+        if let Some(n) = opts.accesses {
+            ms.accesses = n;
+        }
+        if let Some(schemes) = &opts.schemes {
+            ms.schemes = schemes.clone();
+        }
+        if let Some(fm) = opts.fault_model {
+            ms.fault_models = vec![fm];
+        }
+        eprintln!(
+            "running scheme x fault-model matrix ({} schemes x {} fault models x {} accesses)...",
+            ms.schemes.len(),
+            ms.fault_models.len(),
+            ms.accesses
+        );
+        Some(matrix::SchemeFaultMatrix::run(&ms))
     } else {
         None
     };
@@ -332,6 +418,9 @@ fn main() {
         }
         if let Some(sweep) = &front_sweep {
             write("serve", frontdoor::front_csv(sweep));
+        }
+        if let Some(m) = &matrix_result {
+            write("matrix", rtm_core::experiments::to_csv(&m.rows()));
         }
         if opts.attribution {
             let dump = |name: &str, table: &rtm_obs::attrib::AttributionTable| {
@@ -429,6 +518,9 @@ fn main() {
         out
     });
 
+    section("matrix", &|| {
+        matrix_result.as_ref().expect("matrix ran").render()
+    });
     section("ablation", &|| {
         ablation::render_ablations_with_engine(mc_trials / 4, 2015, 5.12e9, opts.engine)
     });

@@ -13,9 +13,9 @@ pub mod stamp;
 pub mod timing;
 
 /// The experiment identifiers the `repro` binary accepts.
-pub const EXPERIMENTS: [&str; 17] = [
+pub const EXPERIMENTS: [&str; 18] = [
     "fig1", "fig4", "table2", "fig7", "table3", "table5", "fig10", "fig11", "fig12", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "serve",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "ablation", "serve", "matrix",
 ];
 
 /// True when `name` identifies a known experiment (or the `all`
@@ -30,11 +30,12 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(EXPERIMENTS.len(), 17);
+        assert_eq!(EXPERIMENTS.len(), 18);
         assert!(is_known_experiment("all"));
         assert!(is_known_experiment("fig16"));
         assert!(is_known_experiment("ablation"));
         assert!(is_known_experiment("serve"));
+        assert!(is_known_experiment("matrix"));
         assert!(!is_known_experiment("fig99"));
     }
 }

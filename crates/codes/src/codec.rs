@@ -1,0 +1,419 @@
+//! The [`PositionCodec`] trait, the deletion/insertion read-out
+//! channel, and the guard sentinel shared by the stream codecs.
+//!
+//! # Channel model
+//!
+//! A read-out issues a fixed number of shift **pulses**; at pulse `i`
+//! the head senses one cell (or, for a multi-head codec, one cell per
+//! head) and the track advances one domain. A position error of signed
+//! magnitude `e` striking at pulse `at` does one of two things:
+//!
+//! * `e > 0` (**over-shift**): the track jumps `e` extra domains, so
+//!   `e` cells are *deleted* from the stream — the remaining pulses
+//!   read cells `e` positions downstream;
+//! * `e < 0` (**under-shift**): the track sticks for `|e|` pulses, so
+//!   the cell under the head is *re-read* `|e|` extra times and the
+//!   tail of the stream arrives `|e|` positions late.
+//!
+//! The stream length never changes (the pulse count is fixed); what
+//! moves is the alignment between pulses and cells. The codeword is
+//! followed on the track by a **guard sentinel** — a short aperiodic
+//! pattern chosen (exhaustively, at construction) so that no shifted,
+//! deleted or repeat-inserted variant of it matches the clean read.
+//! The sentinel therefore pins down the net slip `e` exactly; the
+//! codec's checksums then pin down the erased data. That division of
+//! labour is what lets the stream codecs *detect* any slip within the
+//! guard span instead of aliasing.
+
+use crate::verdict::Verdict;
+use rtm_track::bit::Bit;
+
+/// A decoded read-out: verdict, recovered net slip, recovered data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// The check outcome ([`Verdict::Correctable`] carries the slip).
+    pub verdict: Verdict,
+    /// Net position offset (positive = over-shift); 0 when clean or
+    /// uncorrectable.
+    pub offset: i32,
+    /// The recovered data word, when the verdict is not uncorrectable.
+    pub data: Option<Vec<Bit>>,
+}
+
+impl Decoded {
+    pub(crate) fn uncorrectable() -> Self {
+        Self {
+            verdict: Verdict::Uncorrectable,
+            offset: 0,
+            data: None,
+        }
+    }
+}
+
+/// One observed read-out stream (always exactly `pulses()` bits for a
+/// serial codec, `pulses() × heads` for a multi-head codec).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Readout {
+    /// The sensed bits in pulse order.
+    pub stream: Vec<Bit>,
+}
+
+/// A position-error-correcting code over racetrack read-out streams.
+///
+/// `encode` turns a data word into the stored codeword (data plus
+/// redundancy fields); `transmit` simulates a read-out with a position
+/// error; `decode` recovers data and slip from an observed stream; and
+/// `classify_offset` is the statistical fast path used by the
+/// architecture-level simulators, which must agree with `decode` on
+/// pure shift-count errors.
+pub trait PositionCodec {
+    /// Short scheme name for tables and flags.
+    fn name(&self) -> &'static str;
+
+    /// Data bits per protected word.
+    fn data_bits(&self) -> usize;
+
+    /// Exact redundancy: stored non-data bits per word. This is the
+    /// number `rtm-cost` charges as cell overhead.
+    fn overhead_bits_per_word(&self) -> usize;
+
+    /// Total stored bits per word.
+    fn codeword_bits(&self) -> usize {
+        self.data_bits() + self.overhead_bits_per_word()
+    }
+
+    /// Maximum slip magnitude the codec corrects.
+    fn strength(&self) -> u32;
+
+    /// Shift pulses per read-out (the channel positions where a
+    /// mis-shift can strike).
+    fn pulses(&self) -> usize;
+
+    /// Encodes `data` (length [`PositionCodec::data_bits`]) into a
+    /// codeword (length [`PositionCodec::codeword_bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.data_bits()` or any bit is
+    /// unknown.
+    fn encode(&self, data: &[Bit]) -> Vec<Bit>;
+
+    /// Simulates a read-out of `codeword` with a position error of
+    /// signed magnitude `e` striking at pulse `at` (`e == 0` is a
+    /// clean read and ignores `at`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|e| > strength + 1`, or `at` does not leave room for
+    /// the error before the end of the read-out.
+    fn transmit(&self, codeword: &[Bit], e: i32, at: usize) -> Readout;
+
+    /// Decodes one observed read-out.
+    fn decode(&self, readout: &Readout) -> Decoded;
+
+    /// Classifies a *known* physical offset the way the decoder would
+    /// see it. The cyclic codec aliases at its period; the stream
+    /// codecs return [`Verdict::Uncorrectable`] for anything beyond
+    /// their strength.
+    fn classify_offset(&self, e: i32) -> Verdict;
+}
+
+/// The guard sentinel: an aperiodic bit pattern appended to the
+/// codeword on the track.
+///
+/// `reads` sentinel cells are sensed by every clean read-out; the
+/// pattern itself is `reads + margin` cells long so over-shifted
+/// read-outs stay on known cells. Construction searches patterns
+/// exhaustively (deterministically — no RNG) for the two properties
+/// that make the slip magnitude unambiguous:
+///
+/// * no left-shift by `1..=margin` of the pattern matches the clean
+///   window (an over-shift anywhere before the guards cannot read as
+///   clean), and
+/// * no prefix of the clean window equals the window shifted right
+///   (an under-shift cannot hide behind a periodic guard).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sentinel {
+    bits: Vec<Bit>,
+    reads: usize,
+}
+
+impl Sentinel {
+    /// Builds the sentinel for a codec of the given strength (cached:
+    /// the exhaustive pattern search runs once per strength per
+    /// process).
+    pub fn new(strength: u32) -> Self {
+        static CACHE: [std::sync::OnceLock<Sentinel>; 8] = [
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+            std::sync::OnceLock::new(),
+        ];
+        let slot = &CACHE[strength as usize];
+        slot.get_or_init(|| Self::search(strength)).clone()
+    }
+
+    fn search(strength: u32) -> Self {
+        let w = strength as usize + 1;
+        let reads = 2 * w;
+        let margin = 2 * w;
+        let len = reads + margin;
+        assert!(len <= 24, "sentinel search space must stay tiny");
+        'pattern: for raw in 0u32..(1 << len) {
+            let bits: Vec<bool> = (0..len).map(|i| (raw >> i) & 1 == 1).collect();
+            // Over-shift: dropping j cells anywhere in the window (and
+            // reading j further) must not reproduce the clean window.
+            for j in 1..=margin {
+                for at in 0..reads {
+                    let shifted: Vec<bool> = (0..reads)
+                        .map(|i| if i < at { bits[i] } else { bits[i + j] })
+                        .collect();
+                    if shifted == bits[..reads] {
+                        continue 'pattern;
+                    }
+                }
+            }
+            // Under-shift: re-reading a cell j times must not
+            // reproduce the clean window either.
+            for j in 1..=margin {
+                for at in 0..reads.saturating_sub(j) {
+                    let stuck: Vec<bool> = (0..reads)
+                        .map(|i| {
+                            if i <= at {
+                                bits[i]
+                            } else if i <= at + j {
+                                bits[at]
+                            } else {
+                                bits[i - j]
+                            }
+                        })
+                        .collect();
+                    if stuck == bits[..reads] {
+                        continue 'pattern;
+                    }
+                }
+            }
+            return Self {
+                bits: bits.into_iter().map(Bit::from).collect(),
+                reads,
+            };
+        }
+        unreachable!("no sentinel of length {len} exists");
+    }
+
+    /// Sentinel cells stored on the track.
+    pub fn cells(&self) -> &[Bit] {
+        &self.bits
+    }
+
+    /// Sentinel cells sensed by a clean read-out.
+    pub fn reads(&self) -> usize {
+        self.reads
+    }
+
+    /// The sentinel cell at guard index `i` (may exceed `reads` by the
+    /// margin for over-shifted read-outs).
+    pub fn cell(&self, i: usize) -> Bit {
+        self.bits[i]
+    }
+}
+
+/// Serial-channel `transmit` shared by the single-stream codecs: track
+/// cells are `codeword ++ sentinel`, and one burst strikes at pulse
+/// `at`.
+pub(crate) fn transmit_serial(
+    codeword: &[Bit],
+    sentinel: &Sentinel,
+    pulses: usize,
+    e: i32,
+    at: usize,
+) -> Readout {
+    let mut cells = codeword.to_vec();
+    cells.extend_from_slice(sentinel.cells());
+    let k = e.unsigned_abs() as usize;
+    assert!(
+        pulses + k <= cells.len(),
+        "error magnitude {e} runs off the track"
+    );
+    let stream: Vec<Bit> = if e == 0 {
+        cells[..pulses].to_vec()
+    } else if e > 0 {
+        assert!(at < pulses, "over-shift must strike within the read-out");
+        (0..pulses)
+            .map(|i| if i < at { cells[i] } else { cells[i + k] })
+            .collect()
+    } else {
+        assert!(
+            at + k < pulses,
+            "under-shift must strike within the read-out"
+        );
+        (0..pulses)
+            .map(|i| {
+                if i <= at {
+                    cells[i]
+                } else if i <= at + k {
+                    cells[at]
+                } else {
+                    cells[i - k]
+                }
+            })
+            .collect()
+    };
+    Readout { stream }
+}
+
+/// A candidate reconstruction produced during hypothesis search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Candidate {
+    pub offset: i32,
+    pub data: Vec<Bit>,
+}
+
+/// Reduces the surviving candidates to a verdict: no candidate or
+/// disagreeing data is uncorrectable; otherwise the minimal-|offset|
+/// explanation wins (error rates are small, so the least-slip
+/// hypothesis is overwhelmingly the true one — and candidates that
+/// agree on data only ever disagree on where *within the guards* the
+/// slip struck, which does not change the correction).
+pub(crate) fn resolve(mut candidates: Vec<Candidate>) -> Decoded {
+    let Some(first) = candidates.first().map(|c| c.data.clone()) else {
+        return Decoded::uncorrectable();
+    };
+    if candidates.iter().any(|c| c.data != first) {
+        return Decoded::uncorrectable();
+    }
+    candidates.sort_by_key(|c| c.offset.unsigned_abs());
+    let best = &candidates[0];
+    let verdict = if best.offset == 0 {
+        Verdict::Clean
+    } else {
+        Verdict::Correctable(best.offset)
+    };
+    Decoded {
+        verdict,
+        offset: best.offset,
+        data: Some(first),
+    }
+}
+
+/// The smallest prime `>= n` (tiny trial division; moduli here are
+/// well under 1000).
+pub(crate) fn next_prime(n: u64) -> u64 {
+    let mut c = n.max(2);
+    loop {
+        let mut is_prime = c >= 2;
+        let mut d = 2;
+        while d * d <= c {
+            if c.is_multiple_of(d) {
+                is_prime = false;
+                break;
+            }
+            d += 1;
+        }
+        if is_prime {
+            return c;
+        }
+        c += 1;
+    }
+}
+
+/// Packs `value` into `width` bits, LSB first.
+pub(crate) fn field_bits(value: u64, width: usize) -> Vec<Bit> {
+    (0..width)
+        .map(|i| Bit::from((value >> i) & 1 == 1))
+        .collect()
+}
+
+/// Reads an LSB-first field back out of bits; `None` when any bit is
+/// unknown.
+pub(crate) fn field_value(bits: &[Bit]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+/// Bits needed to store values in `[0, modulus)`.
+pub(crate) fn field_width(modulus: u64) -> usize {
+    (64 - (modulus - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_exists_for_all_relevant_strengths() {
+        for s in 0..=3u32 {
+            let sent = Sentinel::new(s);
+            assert_eq!(sent.reads(), 2 * (s as usize + 1));
+            assert_eq!(sent.cells().len(), 4 * (s as usize + 1));
+        }
+    }
+
+    #[test]
+    fn sentinel_rejects_pure_shifts() {
+        let sent = Sentinel::new(2);
+        let reads = sent.reads();
+        for j in 1..=2 {
+            let clean: Vec<Bit> = (0..reads).map(|i| sent.cell(i)).collect();
+            let shifted: Vec<Bit> = (0..reads).map(|i| sent.cell(i + j)).collect();
+            assert_ne!(clean, shifted, "shift {j} must be visible");
+        }
+    }
+
+    #[test]
+    fn next_prime_basics() {
+        assert_eq!(next_prime(2), 2);
+        assert_eq!(next_prime(45), 47);
+        assert_eq!(next_prime(129), 131);
+        assert_eq!(next_prime(130), 131);
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        for v in [0u64, 1, 37, 130] {
+            let w = field_width(131);
+            assert_eq!(field_value(&field_bits(v, w)), Some(v));
+        }
+        assert_eq!(field_value(&[Bit::Unknown]), None);
+    }
+
+    #[test]
+    fn resolve_prefers_minimal_slip() {
+        let data = vec![Bit::One, Bit::Zero];
+        let cands = vec![
+            Candidate {
+                offset: 2,
+                data: data.clone(),
+            },
+            Candidate {
+                offset: 0,
+                data: data.clone(),
+            },
+        ];
+        let d = resolve(cands);
+        assert_eq!(d.verdict, Verdict::Clean);
+        // Disagreeing data is ambiguity, not a guess.
+        let cands = vec![
+            Candidate {
+                offset: 1,
+                data: data.clone(),
+            },
+            Candidate {
+                offset: 1,
+                data: vec![Bit::Zero, Bit::Zero],
+            },
+        ];
+        assert_eq!(resolve(cands).verdict, Verdict::Uncorrectable);
+    }
+}

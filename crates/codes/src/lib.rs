@@ -1,0 +1,53 @@
+//! Deletion/insertion-correcting position codes for racetrack memory.
+//!
+//! The paper's p-ECC treats a shift position error as a *shift-count*
+//! error decoded from a cyclic phase pattern. The coding-theory line of
+//! work models the same physics one level lower: a mis-shift during a
+//! serial read-out deletes bits from (over-shift) or repeats bits in
+//! (under-shift) the observed stream. This crate hosts that view behind
+//! one trait, [`codec::PositionCodec`], with three implementations:
+//!
+//! * [`cyclic::CyclicCodec`] — the paper's cyclic p-ECC square wave,
+//!   adapted behind the trait (keeps its period-aliasing SDC floor);
+//! * [`cheekiah::CheeKiahCodec`] — the multi-head construction of
+//!   Chee/Kiah/Vardy/Vu/Yaakobi (arXiv 1701.06874): several read ports
+//!   over the *same* track at small offsets see the same mis-fire at
+//!   different data positions, so merging the looks recovers the word
+//!   with only a tiny stored tie-break checksum — the redundancy moves
+//!   from storage bits into read ports and read energy;
+//! * [`vahid::Vahid2diCodec`] — a two-deletion/insertion code in the
+//!   style of Vahid/Mappouras/Sorin/Calderbank (arXiv 1701.06478):
+//!   interleaved Varshamov–Tenengolts syndromes over one serial stream.
+//!
+//! The two stream codecs share a structural property the cyclic code
+//! cannot have: they never alias. A slip beyond the design strength is
+//! *detected* (the guard sentinel stops matching) instead of silently
+//! decoding clean, so their reliability profile trades the cyclic SDC
+//! floor for detected DUEs at a higher redundancy cost. Exact
+//! redundancy accounting (`overhead_bits_per_word`) feeds `rtm-cost`.
+//!
+//! [`marker::MarkerCode`] is the stripe-level companion: an aperiodic
+//! tap pattern with shift-unique windows that `rtm-pecc` uses to give
+//! the stream codecs a bit-accurate `ProtectedStripe` check path.
+//!
+//! Everything is `std`-only and deterministic: decoding is exhaustive
+//! bounded-distance hypothesis search (the streams are tens of bits, so
+//! the search is trivially cheap), and any ambiguity surfaces as
+//! [`verdict::Verdict::Uncorrectable`] rather than a silent guess.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cheekiah;
+pub mod codec;
+pub mod cyclic;
+pub mod marker;
+pub mod vahid;
+pub mod verdict;
+
+pub use cheekiah::CheeKiahCodec;
+pub use codec::{Decoded, PositionCodec, Readout};
+pub use cyclic::{CyclicCodec, PeccCode};
+pub use marker::MarkerCode;
+pub use vahid::Vahid2diCodec;
+pub use verdict::Verdict;

@@ -16,7 +16,7 @@ use crate::sequence::{SequenceTable, PECC_CHECK_CYCLES};
 use rtm_model::rates::MAX_TABULATED_DISTANCE;
 use rtm_model::sts::StsTiming;
 use rtm_obs::events::{PeccOutcome, ShiftEvent};
-use rtm_pecc::code::{PeccCode, Verdict};
+use rtm_pecc::code::Verdict;
 use rtm_pecc::layout::ProtectionKind;
 use rtm_util::units::Cycles;
 
@@ -413,13 +413,12 @@ impl ShiftController {
         let mut due = 0.0f64;
         let mut sdc = 0.0f64;
         let mut corrections = 0.0f64;
-        let code = self.kind.code();
         for &d in sequence {
             latency += self.timing.shift_cycles(d).count();
             if protected {
                 latency += PECC_CHECK_CYCLES;
             }
-            let (s, u, c) = self.classify_risk(code, d);
+            let (s, u, c) = self.classify_risk(d);
             sdc += s;
             due += u;
             corrections += c;
@@ -435,8 +434,8 @@ impl ShiftController {
     }
 
     /// Splits the error probability mass of one `d`-step shift into
-    /// (SDC, DUE, expected corrections) under the active code.
-    fn classify_risk(&self, code: Option<PeccCode>, d: u32) -> (f64, f64, f64) {
+    /// (SDC, DUE, expected corrections) under the active protection.
+    fn classify_risk(&self, d: u32) -> (f64, f64, f64) {
         let rates = self.budget.rates();
         let mut sdc = 0.0;
         let mut due = 0.0;
@@ -446,19 +445,16 @@ impl ShiftController {
             if p <= 0.0 {
                 continue;
             }
-            match code {
-                None => sdc += p,
-                Some(code) => match code.classify_offset(k as i32) {
-                    Verdict::Clean => sdc += p, // aliased: silently wrong
-                    Verdict::Correctable(c) => {
-                        if c == k as i32 {
-                            corrections += p; // repaired on the spot
-                        } else {
-                            sdc += p; // mis-correction: silently wrong
-                        }
+            match self.kind.classify_offset(k as i32) {
+                Verdict::Clean => sdc += p, // unprotected or aliased: silently wrong
+                Verdict::Correctable(c) => {
+                    if c == k as i32 {
+                        corrections += p; // repaired on the spot
+                    } else {
+                        sdc += p; // mis-correction: silently wrong
                     }
-                    Verdict::Uncorrectable => due += p,
-                },
+                }
+                Verdict::Uncorrectable => due += p,
             }
         }
         (sdc, due, corrections)

@@ -11,6 +11,7 @@
 //! | [`ablation`] | drive-ratio, variation-scale, strength and STS ablations the paper discusses in prose |
 //! | [`serving`] | beyond-paper serving-layer study: scheduling policy × workload × protection scheme |
 //! | [`frontdoor`] | beyond-paper front-door study: ≥10k-tenant admission control × scheduling policy |
+//! | [`matrix`] | beyond-paper scheme × fault-model matrix: reliability, cost and sampled behaviour per cell |
 //!
 //! Every driver returns typed rows plus a rendered text table so the
 //! `repro` binary and EXPERIMENTS.md stay in lock-step with the code.
@@ -20,6 +21,7 @@ pub mod design;
 pub mod energy_exp;
 pub mod errormodel;
 pub mod frontdoor;
+pub mod matrix;
 pub mod motivation;
 pub mod performance;
 pub mod reliability_exp;

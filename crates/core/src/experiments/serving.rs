@@ -26,9 +26,10 @@ use rtm_trace::{MixedTraceGenerator, WorkloadProfile};
 /// cell's profile, so conflict misses create same-group queueing).
 pub const TENANTS: usize = 4;
 
-/// The four racetrack protection schemes the serving comparison runs
-/// under, as `(label, protection, shift policy)`.
-pub const SCHEMES: [(&str, ProtectionKind, ShiftPolicy); 4] = [
+/// The racetrack protection schemes the serving comparison runs
+/// under, as `(label, protection, shift policy)` — the paper's four
+/// plus the two deletion/insertion stream codecs.
+pub const SCHEMES: [(&str, ProtectionKind, ShiftPolicy); 6] = [
     (
         "unprotected",
         ProtectionKind::None,
@@ -46,6 +47,16 @@ pub const SCHEMES: [(&str, ProtectionKind, ShiftPolicy); 4] = [
         "p-ECC-S adaptive",
         ProtectionKind::SECDED,
         ShiftPolicy::Adaptive,
+    ),
+    (
+        "Chee-Kiah",
+        ProtectionKind::CHEE_KIAH,
+        ShiftPolicy::Unconstrained,
+    ),
+    (
+        "Vahid 2-DI",
+        ProtectionKind::VAHID_2DI,
+        ShiftPolicy::Unconstrained,
     ),
 ];
 

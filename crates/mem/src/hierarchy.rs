@@ -281,6 +281,23 @@ impl Hierarchy {
         Self::from_racetrack_llc(RacetrackLlc::new(kind, policy).with_fault_sampling(engine, seed))
     }
 
+    /// [`Hierarchy::with_racetrack_sampled`] with an explicit
+    /// fault-process choice — the full scheme × fault-model matrix
+    /// entry point.
+    pub fn with_racetrack_faults(
+        kind: ProtectionKind,
+        policy: ShiftPolicy,
+        fault_model: rtm_track::fault::FaultModelChoice,
+        engine: rtm_model::analytic::Engine,
+        seed: u64,
+    ) -> Self {
+        Self::from_racetrack_llc(RacetrackLlc::new(kind, policy).with_fault_model(
+            fault_model,
+            engine,
+            seed,
+        ))
+    }
+
     fn from_racetrack_llc(llc: RacetrackLlc) -> Self {
         Self::with_llc(Box::new(llc), LlcChoice::RacetrackUnprotected)
     }

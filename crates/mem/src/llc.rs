@@ -9,7 +9,7 @@ use rtm_cost::technology::LlcDesign;
 use rtm_model::analytic::Engine;
 use rtm_model::params::DeviceParams;
 use rtm_pecc::layout::ProtectionKind;
-use rtm_track::fault::{EngineFaultModel, FaultModel};
+use rtm_track::fault::{FaultModel, FaultModelChoice, SelectedFaultModel};
 use rtm_track::geometry::StripeGeometry;
 use rtm_util::arena::PagedBytes;
 use rtm_util::units::Seconds;
@@ -248,7 +248,7 @@ pub struct RacetrackLlc {
     /// model (alias tables for analytic, Gaussian for mc), giving the
     /// sweep an *observed* error count alongside the controller's
     /// expected-value risk accounting.
-    sampler: Option<EngineFaultModel>,
+    sampler: Option<SelectedFaultModel>,
     sampled_shifts: u64,
     observed_errors: u64,
     /// Zero-shift accesses served while the group's head register was
@@ -365,8 +365,17 @@ impl RacetrackLlc {
     /// risk accounting — it adds the observed error tallies
     /// ([`LlcStats::sampled_shifts`] / [`LlcStats::observed_errors`])
     /// on top of the statistical model, with Table 1 device parameters.
-    pub fn with_fault_sampling(mut self, engine: Engine, seed: u64) -> Self {
-        self.sampler = Some(EngineFaultModel::new(engine, &DeviceParams::table1(), seed));
+    pub fn with_fault_sampling(self, engine: Engine, seed: u64) -> Self {
+        self.with_fault_model(FaultModelChoice::Engine, engine, seed)
+    }
+
+    /// Enables per-shift outcome sampling through an explicit
+    /// [`FaultModelChoice`] (builder style) — the `--fault-model` axis.
+    /// Like [`with_fault_sampling`](Self::with_fault_sampling), sampling
+    /// only adds observed-error tallies; the statistical accounting is
+    /// untouched.
+    pub fn with_fault_model(mut self, choice: FaultModelChoice, engine: Engine, seed: u64) -> Self {
+        self.sampler = Some(choice.build(engine, &DeviceParams::table1(), seed));
         self
     }
 

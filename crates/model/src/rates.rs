@@ -95,6 +95,27 @@ impl OutOfStepRates {
         }
     }
 
+    /// Builds a table from explicit per-distance columns (index `d − 1`
+    /// holds the rate for a `d`-step shift) and an over-shift fraction.
+    /// Used by fault models whose error process is not displacement
+    /// noise (e.g. defect pinning) to expose an equivalent rate table
+    /// to the analytic reliability pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the columns are empty, differ in length, or
+    /// `plus_fraction` is outside `[0, 1]`.
+    pub fn from_columns(k1: Vec<f64>, k2: Vec<f64>, plus_fraction: f64) -> Self {
+        assert!(!k1.is_empty(), "need at least one tabulated distance");
+        assert_eq!(k1.len(), k2.len(), "k1/k2 columns must align");
+        assert!((0.0..=1.0).contains(&plus_fraction), "fraction in [0,1]");
+        Self {
+            k1,
+            k2,
+            plus_fraction,
+        }
+    }
+
     /// Probability of a ±k-step error for a single `distance`-step shift.
     ///
     /// Distances beyond the tabulated range are extrapolated with the

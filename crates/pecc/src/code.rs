@@ -1,189 +1,78 @@
-//! The cyclic p-ECC code and its phase-difference decoder.
+//! The cyclic p-ECC code — re-exported from `rtm-codes` — plus the
+//! [`StripeChecker`] bridge that lets a [`crate::protected`] stripe run
+//! its bit-accurate tap check against either pattern family.
 //!
-//! For correction strength `m` the code is a square wave of period
-//! `P = 2·(m + 1)` — `m + 1` ones followed by `m + 1` zeros, repeated —
-//! read through `m + 1` adjacent ports. A window of `m + 1` consecutive
-//! bits uniquely identifies its phase within the period, so comparing
-//! the observed window's phase against the expected phase yields the
-//! position-error offset modulo `P`:
+//! The square-wave code and its phase-difference decoder moved to
+//! [`rtm_codes::cyclic`] so the deletion/insertion codecs can reuse the
+//! same [`Verdict`] vocabulary; the `rtm_pecc::code::{PeccCode,
+//! Verdict}` paths stay valid through these re-exports.
 //!
-//! * difference `0` — clean shift;
-//! * difference `d ∈ [1, m]` — over-shift by `d`, correctable;
-//! * difference `P − d, d ∈ [1, m]` — under-shift by `d`, correctable;
-//! * difference `m + 1` — a ±(m+1)-step error: detectable but
-//!   ambiguous in sign, hence uncorrectable (the paper's SECDED case
-//!   "cannot differentiate +2 from −2");
-//! * offsets beyond `m + 1` **alias**: an error of exactly `P` steps is
-//!   invisible — the silent-corruption floor any cyclic code has.
-//!
-//! With `m = 1` this is exactly the paper's Fig. 6(e) cycle
-//! `11 → 10 → 00 → 01`, and with detect-only strength (SED) the period-2
-//! wave `1010…` of Fig. 5.
+//! A stripe protected by one of the stream codecs (Chee–Kiah multi-look
+//! or Vahid 2-DI) does not carry a cyclic pattern at all: its in-track
+//! check pattern is the aperiodic [`MarkerCode`], whose windows are
+//! globally unique within ±(period/2) and therefore never alias short
+//! of a full period — the structural property that trades the cyclic
+//! SDC floor for detected DUEs.
+
+pub use rtm_codes::{MarkerCode, PeccCode, Verdict};
 
 use rtm_track::bit::Bit;
-use std::fmt;
 
-/// Decoder output for one shift check.
+/// The tap pattern a protected stripe checks after each shift: the
+/// cyclic square wave for the paper's p-ECC family, or the aperiodic
+/// marker that backs the deletion/insertion codecs.
+///
+/// Both variants expose the same phase-decode shape (`bit_at`,
+/// `window`, `decode(expected_index, observed)`), so the physical
+/// simulation in [`crate::protected`] is pattern-agnostic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Verdict {
-    /// Observed pattern matches the expectation: no position error
-    /// (or an aliased multiple of the code period — see module docs).
-    Clean,
-    /// A ±k out-of-step error was identified; the payload is the signed
-    /// offset to undo (positive = walls over-shifted, shift back).
-    Correctable(i32),
-    /// An error was detected but its direction is ambiguous (±(m+1)) or
-    /// the window matched no phase (garbled read): raise a DUE.
-    Uncorrectable,
+pub enum StripeChecker {
+    /// Cyclic p-ECC phase code (aliases at multiples of its period).
+    Cyclic(PeccCode),
+    /// Aperiodic marker with shift-unique windows (never aliases short
+    /// of a full period of 64 steps).
+    Marker(MarkerCode),
 }
 
-impl Verdict {
-    /// True when the verdict requires no action.
-    pub fn is_clean(self) -> bool {
-        self == Verdict::Clean
-    }
-}
-
-impl fmt::Display for Verdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Verdict::Clean => write!(f, "clean"),
-            Verdict::Correctable(k) => write!(f, "correctable ({k:+})"),
-            Verdict::Uncorrectable => write!(f, "uncorrectable"),
-        }
-    }
-}
-
-/// A p-ECC cyclic code of a given correction strength.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct PeccCode {
-    /// Correction strength: `m` step errors are correctable, `m + 1`
-    /// detectable. Strength 0 is the SED code (detect ±1 only).
-    strength: u32,
-}
-
-impl PeccCode {
-    /// Creates a code correcting up to `strength` steps.
-    pub fn new(strength: u32) -> Self {
-        Self { strength }
-    }
-
-    /// The SED code of Fig. 5: detects ±1, corrects nothing.
-    pub fn sed() -> Self {
-        Self::new(0)
-    }
-
-    /// The SECDED code of Fig. 6: corrects ±1, detects ±2.
-    pub fn secded() -> Self {
-        Self::new(1)
-    }
-
-    /// Correction strength `m`.
+impl StripeChecker {
+    /// Correction strength in steps.
     pub fn strength(&self) -> u32 {
-        self.strength
+        match self {
+            StripeChecker::Cyclic(c) => c.strength(),
+            StripeChecker::Marker(m) => m.strength(),
+        }
     }
 
-    /// Code period `P = 2(m + 1)`.
-    pub fn period(&self) -> u32 {
-        2 * (self.strength + 1)
-    }
-
-    /// Window width (= number of p-ECC read ports) `m + 1`.
+    /// Number of taps the checker reads per check.
     pub fn window(&self) -> u32 {
-        self.strength + 1
+        match self {
+            StripeChecker::Cyclic(c) => c.window(),
+            StripeChecker::Marker(m) => m.window(),
+        }
     }
 
-    /// The code bit at (possibly negative) index `i`: ones for the first
-    /// half of each period.
+    /// Pattern bit at (possibly negative) index `i`.
     pub fn bit_at(&self, i: i64) -> Bit {
-        let p = self.period() as i64;
-        let phase = i.rem_euclid(p);
-        Bit::from(phase < p / 2)
-    }
-
-    /// Generates `len` code bits starting at index `start`.
-    pub fn pattern(&self, start: i64, len: usize) -> Vec<Bit> {
-        (0..len as i64).map(|k| self.bit_at(start + k)).collect()
-    }
-
-    /// The window of `m + 1` bits expected when the leading tap sits at
-    /// code index `i`.
-    pub fn expected_window(&self, i: i64) -> Vec<Bit> {
-        self.pattern(i, self.window() as usize)
-    }
-
-    /// Finds the unique phase `r ∈ [0, P)` whose window matches
-    /// `observed`, or `None` if no phase matches (garbled bits).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `observed.len() != self.window()`.
-    pub fn match_phase(&self, observed: &[Bit]) -> Option<u32> {
-        assert_eq!(
-            observed.len(),
-            self.window() as usize,
-            "window width must be m + 1"
-        );
-        if observed.iter().any(|b| !b.is_known()) {
-            return None;
+        match self {
+            StripeChecker::Cyclic(c) => c.bit_at(i),
+            StripeChecker::Marker(m) => m.bit_at(i),
         }
-        let p = self.period();
-        let mut found = None;
-        for r in 0..p {
-            let cand = self.expected_window(r as i64);
-            if cand == observed {
-                // Unique by construction; assert in debug builds.
-                debug_assert!(found.is_none(), "window phases must be unique");
-                found = Some(r);
-                #[cfg(not(debug_assertions))]
-                break;
-            }
-        }
-        found
     }
 
-    /// Decodes the observed window against the expected code index
-    /// `expected_index` (where the leading tap *should* be reading).
-    ///
-    /// An over-shift by `e` makes the tap read index `expected − e`, so
-    /// the phase difference recovers `e mod P`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `observed.len() != self.window()`.
+    /// Decodes an observed tap window against the window expected at
+    /// pattern index `expected_index`.
     pub fn decode(&self, expected_index: i64, observed: &[Bit]) -> Verdict {
-        let p = self.period() as i64;
-        let expected_phase = expected_index.rem_euclid(p);
-        let Some(observed_phase) = self.match_phase(observed) else {
-            return Verdict::Uncorrectable;
-        };
-        // observed index = expected − e  ⇒  e = expected − observed (mod P).
-        let d = (expected_phase - observed_phase as i64).rem_euclid(p);
-        self.verdict_for_phase_difference(d as u32)
+        match self {
+            StripeChecker::Cyclic(c) => c.decode(expected_index, observed),
+            StripeChecker::Marker(m) => m.decode(expected_index, observed),
+        }
     }
 
-    /// Classifies a *known* physical offset `e` the way the decoder
-    /// would see it — including aliasing for `|e| > m + 1`. This is the
-    /// statistical fast path used by the architecture simulator.
+    /// Ideal-channel verdict for a true offset of `e` steps.
     pub fn classify_offset(&self, e: i32) -> Verdict {
-        let p = self.period() as i64;
-        let d = (e as i64).rem_euclid(p);
-        self.verdict_for_phase_difference(d as u32)
-    }
-
-    fn verdict_for_phase_difference(&self, d: u32) -> Verdict {
-        let m = self.strength;
-        let p = self.period();
-        debug_assert!(d < p);
-        if d == 0 {
-            Verdict::Clean
-        } else if d <= m {
-            Verdict::Correctable(d as i32)
-        } else if d == m + 1 {
-            Verdict::Uncorrectable
-        } else {
-            // d in [m+2, 2m+1] ⇒ under-shift by p − d ∈ [1, m].
-            Verdict::Correctable(-((p - d) as i32))
+        match self {
+            StripeChecker::Cyclic(c) => c.classify_offset(e),
+            StripeChecker::Marker(m) => m.classify_offset(e),
         }
     }
 }
@@ -193,143 +82,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sed_pattern_is_alternating() {
-        let code = PeccCode::sed();
-        assert_eq!(code.period(), 2);
-        assert_eq!(code.window(), 1);
-        let pat = code.pattern(0, 5);
-        let want: Vec<Bit> = [true, false, true, false, true]
-            .into_iter()
-            .map(Bit::from)
-            .collect();
-        assert_eq!(pat, want, "the '10101' of Fig. 5");
-    }
-
-    #[test]
-    fn secded_cycle_matches_fig6() {
-        // Fig 6(e): successful right shifts by 4k, 4k+1, 4k+2, 4k+3 read
-        // '11', '10', '00', '01'. A right shift by s reads indices that
-        // DECREASE by s, so the observed windows walk backwards through the
-        // wave: expected window at index −s.
+    fn reexported_paths_stay_valid() {
+        // Consumers name these as rtm_pecc::code::{PeccCode, Verdict}.
         let code = PeccCode::secded();
-        let w = |s: i64| -> String {
-            code.expected_window(-s)
-                .iter()
-                .map(|b| b.to_string())
-                .collect()
-        };
-        assert_eq!(w(0), "11");
-        assert_eq!(w(1), "01");
-        assert_eq!(w(2), "00");
-        assert_eq!(w(3), "10");
-        assert_eq!(w(4), "11");
-    }
-
-    #[test]
-    fn windows_are_unique_within_period() {
-        for m in 0..=4u32 {
-            let code = PeccCode::new(m);
-            let p = code.period();
-            let windows: Vec<Vec<Bit>> = (0..p).map(|r| code.expected_window(r as i64)).collect();
-            for i in 0..p as usize {
-                for j in (i + 1)..p as usize {
-                    assert_ne!(windows[i], windows[j], "m={m}: phases {i} and {j} collide");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn match_phase_rejects_unknown_and_garbage() {
-        let code = PeccCode::secded();
-        assert_eq!(code.match_phase(&[Bit::Unknown, Bit::One]), None);
-        // Every 2-bit known pattern matches some phase for m=1 (all four
-        // windows occur), so garbage manifests via a *wrong but valid*
-        // phase — which is why ±2 is only detectable, not correctable.
-        assert!(code.match_phase(&[Bit::One, Bit::Zero]).is_some());
-    }
-
-    #[test]
-    fn decode_identifies_all_correctable_offsets() {
-        for m in 1..=3u32 {
-            let code = PeccCode::new(m);
-            for s in 0..20i64 {
-                let expected = 100 - s; // arbitrary believed index
-                for e in -(m as i64)..=(m as i64) {
-                    let observed = code.expected_window(expected - e);
-                    let verdict = code.decode(expected, &observed);
-                    let want = if e == 0 {
-                        Verdict::Clean
-                    } else {
-                        Verdict::Correctable(e as i32)
-                    };
-                    assert_eq!(verdict, want, "m={m} e={e}");
-                }
-                // ±(m+1) must be flagged uncorrectable.
-                let e = m as i64 + 1;
-                let obs = code.expected_window(expected - e);
-                assert_eq!(code.decode(expected, &obs), Verdict::Uncorrectable);
-                let obs = code.expected_window(expected + e);
-                assert_eq!(code.decode(expected, &obs), Verdict::Uncorrectable);
-            }
-        }
-    }
-
-    #[test]
-    fn decode_flags_garbled_window() {
-        let code = PeccCode::secded();
-        assert_eq!(
-            code.decode(0, &[Bit::Unknown, Bit::Unknown]),
-            Verdict::Uncorrectable
-        );
-    }
-
-    #[test]
-    fn classify_matches_decode_semantics() {
-        for m in 0..=3u32 {
-            let code = PeccCode::new(m);
-            for e in -8i32..=8 {
-                let classified = code.classify_offset(e);
-                // Emulate through decode.
-                let expected_index = 50i64;
-                let observed = code.expected_window(expected_index - e as i64);
-                let decoded = code.decode(expected_index, &observed);
-                assert_eq!(classified, decoded, "m={m} e={e}");
-            }
-        }
-    }
-
-    #[test]
-    fn sed_detects_odd_misses_even() {
-        let code = PeccCode::sed();
         assert_eq!(code.classify_offset(0), Verdict::Clean);
-        assert_eq!(code.classify_offset(1), Verdict::Uncorrectable);
-        assert_eq!(code.classify_offset(-1), Verdict::Uncorrectable);
-        // The SED blind spot the paper motivates SECDED with:
-        assert_eq!(code.classify_offset(2), Verdict::Clean);
-        assert_eq!(code.classify_offset(-2), Verdict::Clean);
+        assert_eq!(code.classify_offset(1), Verdict::Correctable(1));
     }
 
     #[test]
-    fn aliasing_at_full_period_is_silent() {
-        let code = PeccCode::secded();
-        // A ±4-step error is invisible to the period-4 code: SDC.
-        assert_eq!(code.classify_offset(4), Verdict::Clean);
-        assert_eq!(code.classify_offset(-4), Verdict::Clean);
-        // A 3-step error aliases to a miscorrection (looks like −1).
-        assert_eq!(code.classify_offset(3), Verdict::Correctable(-1));
+    fn checker_variants_share_the_decode_shape() {
+        let cyc = StripeChecker::Cyclic(PeccCode::secded());
+        let mrk = StripeChecker::Marker(MarkerCode::new(2));
+        for chk in [cyc, mrk] {
+            let w = chk.window() as usize;
+            let clean: Vec<Bit> = (0..w).map(|i| chk.bit_at(10 + i as i64)).collect();
+            assert_eq!(chk.decode(10, &clean), Verdict::Clean);
+            // An over-shift by 1 leaves the taps reading index
+            // expected − 1.
+            let slipped: Vec<Bit> = (0..w).map(|i| chk.bit_at(9 + i as i64)).collect();
+            assert_eq!(chk.decode(10, &slipped), Verdict::Correctable(1));
+        }
     }
 
     #[test]
-    fn verdict_display() {
-        assert_eq!(Verdict::Clean.to_string(), "clean");
-        assert_eq!(Verdict::Correctable(-1).to_string(), "correctable (-1)");
-        assert_eq!(Verdict::Uncorrectable.to_string(), "uncorrectable");
-    }
-
-    #[test]
-    #[should_panic]
-    fn wrong_window_width_panics() {
-        let _ = PeccCode::secded().decode(0, &[Bit::One]);
+    fn marker_checker_does_not_alias_where_cyclic_does() {
+        let cyc = StripeChecker::Cyclic(PeccCode::secded());
+        let mrk = StripeChecker::Marker(MarkerCode::new(2));
+        // A full cyclic period (4 steps for m = 1) is invisible to the
+        // square wave but detected by the marker.
+        assert_eq!(cyc.classify_offset(4), Verdict::Clean);
+        assert_eq!(mrk.classify_offset(4), Verdict::Uncorrectable);
     }
 }

@@ -117,15 +117,15 @@ pub fn simulate_initialisation(
     faults: &mut dyn FaultModel,
     max_restarts: u32,
 ) -> InitOutcome {
-    let code = layout
+    let checker = layout
         .kind
-        .code()
+        .checker()
         .expect("initialisation needs a coded layout");
-    let code_len = layout.code_domains.max(code.window() as usize + 1);
+    let code_len = layout.code_domains.max(checker.window() as usize + 1);
     // The tape: code region plus travel margin on the right for the
     // verification sweep (one full code length).
     let tape_len = 2 * code_len + 2;
-    let window = code.window() as usize;
+    let window = checker.window() as usize;
     // Verification taps sit over the last `window` slots of the
     // laid-out pattern (slots 1..=code_len hold bits 0..code_len-1
     // after a clean programming phase).
@@ -139,7 +139,7 @@ pub fn simulate_initialisation(
         // repeat — after k bits the oldest sits at slot k-1. Write the
         // bits in reverse so bit 0 ends leftmost.
         for i in (0..code_len).rev() {
-            tape.write_slot(0, code.bit_at(i as i64))
+            tape.write_slot(0, checker.bit_at(i as i64))
                 .expect("slot 0 in range");
             let outcome = faults.sample(1);
             tape.apply_shift(1, outcome);
@@ -191,7 +191,7 @@ pub fn simulate_initialisation(
             .collect();
         // Clean run: slot s holds code bit (s - 1).
         let expected_index = (tap_base as i64) - 1;
-        let verdict = code.decode(expected_index, &observed);
+        let verdict = checker.decode(expected_index, &observed);
         let success =
             verdict == crate::code::Verdict::Clean && tape.actual_offset() == code_len as i64;
         if success {

@@ -19,7 +19,8 @@
 //! both stripe ends instead, shrinking the domain bill at the price of
 //! 1-step shift-and-write operation (Section 4.2.4).
 
-use crate::code::PeccCode;
+use crate::code::{MarkerCode, PeccCode, StripeChecker, Verdict};
+use rtm_codes::{CheeKiahCodec, PositionCodec, Vahid2diCodec};
 use rtm_track::geometry::StripeGeometry;
 use std::fmt;
 
@@ -41,6 +42,20 @@ pub enum ProtectionKind {
         /// Correction strength in steps.
         m: u32,
     },
+    /// Multi-look Chee–Kiah–Vardy–Vu–Yaakobi code (arXiv 1701.06874):
+    /// `heads` read ports per data port, offset by `delta` domains,
+    /// merge their looks to pin a ≤2-step slip against the data itself.
+    /// Redundancy lives mostly in ports and read energy, not domains.
+    CheeKiah {
+        /// Read ports per data port (≥ 2).
+        heads: u32,
+        /// Domain offset between consecutive looks (≥ 2).
+        delta: u32,
+    },
+    /// Two-deletion/insertion code of Vahid et al. (arXiv 1701.06478):
+    /// interleaved Varshamov–Tenengolts syndromes stored in-track,
+    /// decoded from one serial stream through the existing data ports.
+    Vahid2di,
 }
 
 impl ProtectionKind {
@@ -50,13 +65,38 @@ impl ProtectionKind {
     /// The paper's SECDED p-ECC-O (`m = 1`).
     pub const SECDED_O: ProtectionKind = ProtectionKind::OverheadRegion { m: 1 };
 
-    /// The cyclic code used by this protection, if any.
+    /// The default two-look Chee–Kiah configuration (h = 2, δ = 2).
+    pub const CHEE_KIAH: ProtectionKind = ProtectionKind::CheeKiah { heads: 2, delta: 2 };
+
+    /// The default Vahid two-deletion/insertion configuration.
+    pub const VAHID_2DI: ProtectionKind = ProtectionKind::Vahid2di;
+
+    /// The cyclic code used by this protection, if any. The stream
+    /// codecs carry no cyclic pattern — see
+    /// [`checker`](Self::checker) for the pattern they do carry.
     pub fn code(&self) -> Option<PeccCode> {
         match self {
-            ProtectionKind::None => None,
+            ProtectionKind::None | ProtectionKind::CheeKiah { .. } | ProtectionKind::Vahid2di => {
+                None
+            }
             ProtectionKind::Sed => Some(PeccCode::sed()),
             ProtectionKind::Correcting { m } | ProtectionKind::OverheadRegion { m } => {
                 Some(PeccCode::new(*m))
+            }
+        }
+    }
+
+    /// The in-track tap pattern this protection checks after each
+    /// shift, if any: the cyclic square wave for the p-ECC family, the
+    /// aperiodic marker for the stream codecs.
+    pub fn checker(&self) -> Option<StripeChecker> {
+        match self {
+            ProtectionKind::None => None,
+            ProtectionKind::Sed
+            | ProtectionKind::Correcting { .. }
+            | ProtectionKind::OverheadRegion { .. } => self.code().map(StripeChecker::Cyclic),
+            ProtectionKind::CheeKiah { .. } | ProtectionKind::Vahid2di => {
+                Some(StripeChecker::Marker(MarkerCode::new(self.strength())))
             }
         }
     }
@@ -66,6 +106,40 @@ impl ProtectionKind {
         match self {
             ProtectionKind::None | ProtectionKind::Sed => 0,
             ProtectionKind::Correcting { m } | ProtectionKind::OverheadRegion { m } => *m,
+            ProtectionKind::CheeKiah { .. } | ProtectionKind::Vahid2di => {
+                rtm_codes::cheekiah::STRENGTH
+            }
+        }
+    }
+
+    /// Ideal-channel verdict for a true position offset of `e` steps
+    /// under this protection.
+    ///
+    /// This is the kind-level risk classifier the analytic reliability
+    /// and controller paths use: the cyclic family keeps its
+    /// period-aliasing behaviour (an offset of a full period classifies
+    /// [`Verdict::Clean`] — the SDC floor), while the stream codecs
+    /// never alias — anything beyond their strength is a detected DUE.
+    pub fn classify_offset(&self, e: i32) -> Verdict {
+        match self {
+            // Unprotected: every error is silent.
+            ProtectionKind::None => Verdict::Clean,
+            ProtectionKind::Sed
+            | ProtectionKind::Correcting { .. }
+            | ProtectionKind::OverheadRegion { .. } => self
+                .code()
+                .expect("cyclic kinds carry a code")
+                .classify_offset(e),
+            ProtectionKind::CheeKiah { .. } | ProtectionKind::Vahid2di => {
+                let s = self.strength() as i32;
+                if e == 0 {
+                    Verdict::Clean
+                } else if e.abs() <= s {
+                    Verdict::Correctable(e)
+                } else {
+                    Verdict::Uncorrectable
+                }
+            }
         }
     }
 }
@@ -79,6 +153,10 @@ impl fmt::Display for ProtectionKind {
             ProtectionKind::Correcting { m } => write!(f, "p-ECC(m={m})"),
             ProtectionKind::OverheadRegion { m: 1 } => write!(f, "SECDED p-ECC-O"),
             ProtectionKind::OverheadRegion { m } => write!(f, "p-ECC-O(m={m})"),
+            ProtectionKind::CheeKiah { heads, delta } => {
+                write!(f, "Chee-Kiah multi-look (h={heads}, d={delta})")
+            }
+            ProtectionKind::Vahid2di => write!(f, "Vahid 2-DI"),
         }
     }
 }
@@ -140,7 +218,10 @@ impl PeccLayout {
         let m = kind.strength() as usize;
         if matches!(
             kind,
-            ProtectionKind::Correcting { .. } | ProtectionKind::OverheadRegion { .. }
+            ProtectionKind::Correcting { .. }
+                | ProtectionKind::OverheadRegion { .. }
+                | ProtectionKind::CheeKiah { .. }
+                | ProtectionKind::Vahid2di
         ) && m + 1 >= lseg
         {
             return Err(LayoutError::StrengthTooHigh { m: m as u32, lseg });
@@ -164,6 +245,38 @@ impl PeccLayout {
                     let reused = geometry.overhead_len().min(per_end);
                     let extra = 2 * per_end - reused;
                     (extra, 2 * m, 2 * (m + 1), 2, 1)
+                }
+                ProtectionKind::CheeKiah { heads, delta } => {
+                    // Stored redundancy is only the tie-break checksum;
+                    // the (heads − 1)·delta look-offset cells count as
+                    // guards. Every data port gains (heads − 1)
+                    // companion looks — the scheme pays in ports and
+                    // read energy, not domains.
+                    let codec =
+                        CheeKiahCodec::new(heads as usize, delta as usize, geometry.data_len());
+                    let offsets = (heads as usize - 1) * delta as usize;
+                    let checksum = codec.overhead_bits_per_word() - offsets;
+                    let ports = (heads as usize - 1) * geometry.num_ports();
+                    (
+                        checksum,
+                        offsets + 2 * m,
+                        ports,
+                        0,
+                        geometry.max_shift().max(1),
+                    )
+                }
+                ProtectionKind::Vahid2di => {
+                    // Interleaved VT syndromes stored in-track; decoding
+                    // reads the serial stream through the existing data
+                    // ports, so no extra ports at all.
+                    let codec = Vahid2diCodec::new(geometry.data_len());
+                    (
+                        codec.overhead_bits_per_word(),
+                        2 * m,
+                        0,
+                        0,
+                        geometry.max_shift().max(1),
+                    )
                 }
             };
         Ok(Self {
@@ -329,5 +442,73 @@ mod tests {
         assert_eq!(ProtectionKind::Sed.code().unwrap().strength(), 0);
         assert_eq!(ProtectionKind::SECDED.code().unwrap().strength(), 1);
         assert_eq!(ProtectionKind::SECDED_O.code().unwrap().period(), 4);
+    }
+
+    #[test]
+    fn stream_codecs_carry_markers_not_cyclic_codes() {
+        for kind in [ProtectionKind::CHEE_KIAH, ProtectionKind::VAHID_2DI] {
+            assert!(kind.code().is_none(), "{kind}: no cyclic pattern");
+            let chk = kind.checker().unwrap();
+            assert!(matches!(chk, StripeChecker::Marker(_)), "{kind}");
+            assert_eq!(chk.strength(), 2);
+            assert_eq!(kind.strength(), 2);
+        }
+        assert!(ProtectionKind::None.checker().is_none());
+        assert!(matches!(
+            ProtectionKind::SECDED.checker().unwrap(),
+            StripeChecker::Cyclic(_)
+        ));
+    }
+
+    #[test]
+    fn kind_level_classify_matches_checker_semantics() {
+        // Cyclic SECDED aliases at its period; the stream codecs do not.
+        assert_eq!(ProtectionKind::SECDED.classify_offset(4), Verdict::Clean);
+        for kind in [ProtectionKind::CHEE_KIAH, ProtectionKind::VAHID_2DI] {
+            assert_eq!(kind.classify_offset(0), Verdict::Clean);
+            for e in [-2, -1, 1, 2] {
+                assert_eq!(
+                    kind.classify_offset(e),
+                    Verdict::Correctable(e),
+                    "{kind} {e}"
+                );
+            }
+            for e in [-4, -3, 3, 4, 64] {
+                assert_eq!(
+                    kind.classify_offset(e),
+                    Verdict::Uncorrectable,
+                    "{kind} {e}"
+                );
+            }
+        }
+        // Unprotected stripes are blind: everything is silent.
+        assert_eq!(ProtectionKind::None.classify_offset(3), Verdict::Clean);
+    }
+
+    #[test]
+    fn chee_kiah_budget_trades_domains_for_ports() {
+        let g = geom(64, 8);
+        let ck = PeccLayout::new(g, ProtectionKind::CHEE_KIAH).unwrap();
+        let pecc = PeccLayout::new(g, ProtectionKind::SECDED).unwrap();
+        // Far fewer extra domains than dedicated-region p-ECC...
+        assert!(ck.extra_domains() < pecc.extra_domains());
+        // ...but one companion look per data port.
+        assert_eq!(ck.extra_read_ports, g.num_ports());
+        assert!(ck.extra_read_ports > pecc.extra_read_ports);
+        // 8-bit checksum for the 64-bit paper word.
+        assert_eq!(ck.code_domains, 8);
+    }
+
+    #[test]
+    fn vahid_budget_is_storage_heavy_and_port_free() {
+        let g = geom(64, 8);
+        let v = PeccLayout::new(g, ProtectionKind::VAHID_2DI).unwrap();
+        // 21 syndrome bits on the 64-bit paper word, through existing
+        // ports only.
+        assert_eq!(v.code_domains, 21);
+        assert_eq!(v.extra_read_ports, 0);
+        assert_eq!(v.extra_write_ports, 0);
+        let pecc = PeccLayout::new(g, ProtectionKind::SECDED).unwrap();
+        assert!(v.storage_overhead() > pecc.storage_overhead());
     }
 }

@@ -22,7 +22,7 @@
 //! back-shift (which may itself suffer an error — callers re-check, as
 //! the paper's controller does).
 
-use crate::code::{PeccCode, Verdict};
+use crate::code::{StripeChecker, Verdict};
 use crate::layout::{LayoutError, PeccLayout, ProtectionKind};
 use rtm_obs::events::{PeccOutcome, ShiftEvent};
 use rtm_track::bit::Bit;
@@ -34,7 +34,7 @@ use rtm_track::stripe::{Stripe, StripeError};
 #[derive(Debug, Clone)]
 pub struct ProtectedStripe {
     layout: PeccLayout,
-    code: Option<PeccCode>,
+    checker: Option<StripeChecker>,
     stripe: Stripe,
     believed_head: i64,
     data_start: usize,
@@ -55,7 +55,7 @@ impl ProtectedStripe {
     /// Propagates [`LayoutError`] for invalid strength/geometry combos.
     pub fn new(geometry: StripeGeometry, kind: ProtectionKind) -> Result<Self, LayoutError> {
         let layout = PeccLayout::new(geometry, kind)?;
-        let code = kind.code();
+        let checker = kind.checker();
         let m = kind.strength() as usize;
         let lseg = geometry.segment_len();
         let d = geometry.data_len();
@@ -63,14 +63,19 @@ impl ProtectedStripe {
             ProtectionKind::None | ProtectionKind::Sed => 0,
             _ => m,
         };
-        // Code region length as used by the physical simulation. For
-        // p-ECC-O a mirrored region also sits at the left end.
+        // Code region length as used by the physical simulation. The
+        // general formula keeps every tap over a valid pattern bit for
+        // any head position in [0, Lseg − 1] even when walls are off by
+        // up to ±(m + 1): (Lseg − 1) + 2(m + 1) + window. For the
+        // cyclic family (window = m + 1) this is the paper's
+        // Lseg + 3m + 2; for the marker kinds the wider aperiodic
+        // window stretches it. For p-ECC-O a mirrored region also sits
+        // at the left end.
+        let window = checker.map_or(0, |c| c.window() as usize);
         let sim_code_len = match kind {
             ProtectionKind::None => 0,
             ProtectionKind::Sed => lseg + 1,
-            ProtectionKind::Correcting { .. } | ProtectionKind::OverheadRegion { .. } => {
-                lseg + 3 * m + 2
-            }
+            _ => lseg - 1 + 2 * (m + 1) + window,
         };
         let left_code = match kind {
             ProtectionKind::OverheadRegion { .. } => sim_code_len,
@@ -93,11 +98,11 @@ impl ProtectedStripe {
         for c in cells.iter_mut().skip(data_start).take(d) {
             *c = Bit::Zero;
         }
-        if let Some(code) = code {
+        if let Some(checker) = checker {
             for i in 0..sim_code_len {
-                cells[code_start + i] = code.bit_at(i as i64);
+                cells[code_start + i] = checker.bit_at(i as i64);
                 if left_code > 0 {
-                    cells[i] = code.bit_at(i as i64 - (left_code as i64 - sim_code_len as i64));
+                    cells[i] = checker.bit_at(i as i64 - (left_code as i64 - sim_code_len as i64));
                 }
             }
         }
@@ -108,7 +113,7 @@ impl ProtectedStripe {
         };
         Ok(Self {
             layout,
-            code,
+            checker,
             stripe: Stripe::with_cells(cells),
             believed_head: 0,
             data_start,
@@ -176,10 +181,10 @@ impl ProtectedStripe {
     ///
     /// Returns an empty vector for an unprotected stripe.
     pub fn read_taps(&self) -> Vec<Bit> {
-        let Some(code) = self.code else {
+        let Some(checker) = self.checker else {
             return Vec::new();
         };
-        (0..code.window() as usize)
+        (0..checker.window() as usize)
             .map(|t| {
                 self.stripe
                     .read_slot(self.tap_base + t)
@@ -194,11 +199,11 @@ impl ProtectedStripe {
     /// Unprotected stripes always report [`Verdict::Clean`] (they cannot
     /// see anything).
     pub fn check(&self) -> Verdict {
-        let Some(code) = self.code else {
+        let Some(checker) = self.checker else {
             return Verdict::Clean;
         };
         let expected_index = (self.tap_base - self.code_start) as i64 - self.believed_head;
-        code.decode(expected_index, &self.read_taps())
+        checker.decode(expected_index, &self.read_taps())
     }
 
     /// Applies the corrective back-shift for a `Correctable(k)` verdict:
@@ -536,6 +541,57 @@ mod tests {
         assert_eq!(s.check(), Verdict::Clean, "no code, no detection");
         assert!(!s.is_synchronised(), "...but the data is silently corrupt");
         assert!(s.read_taps().is_empty());
+    }
+
+    #[test]
+    fn marker_protected_stripe_corrects_two_step_errors() {
+        // The stream-codec kinds carry the aperiodic marker pattern;
+        // bit-accurate checks behave like a strength-2 code.
+        for kind in [ProtectionKind::CHEE_KIAH, ProtectionKind::VAHID_2DI] {
+            let mut s = ProtectedStripe::new(StripeGeometry::paper_default(), kind).unwrap();
+            for e in [-2i32, -1, 1, 2] {
+                let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: e }]);
+                let v = s.shift_checked(3, &mut faults, 3);
+                assert_eq!(v, Verdict::Clean, "{kind} e={e}");
+                assert!(s.is_synchronised());
+                s.seek_checked(0, &mut IdealFaultModel);
+            }
+        }
+    }
+
+    #[test]
+    fn marker_protected_stripe_never_aliases_at_the_cyclic_period() {
+        // A +4 slip aliases to Clean under cyclic SECDED (period 4) but
+        // is an honest DUE under the marker kinds.
+        let mut cyc = secded_stripe();
+        let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 4 }]);
+        cyc.shift(3, &mut faults);
+        assert_eq!(cyc.check(), Verdict::Clean, "cyclic aliases silently");
+        assert!(!cyc.is_synchronised());
+
+        for kind in [ProtectionKind::CHEE_KIAH, ProtectionKind::VAHID_2DI] {
+            let mut s = ProtectedStripe::new(StripeGeometry::paper_default(), kind).unwrap();
+            let mut faults = ScriptedFaultModel::new([ShiftOutcome::Pinned { offset: 4 }]);
+            s.shift(3, &mut faults);
+            assert_eq!(s.check(), Verdict::Uncorrectable, "{kind}");
+        }
+    }
+
+    #[test]
+    fn marker_protected_data_round_trip() {
+        let mut s =
+            ProtectedStripe::new(StripeGeometry::paper_default(), ProtectionKind::CHEE_KIAH)
+                .unwrap();
+        let mut ideal = IdealFaultModel;
+        let geom = s.layout().geometry;
+        for d in [0usize, 17, 40, 63] {
+            s.seek_checked(geom.head_position_for(d), &mut ideal);
+            s.write_domain(d, Bit::One).unwrap();
+        }
+        for d in [0usize, 17, 40, 63] {
+            s.seek_checked(geom.head_position_for(d), &mut ideal);
+            assert_eq!(s.read_domain(d).unwrap(), Bit::One, "domain {d}");
+        }
     }
 
     #[test]

@@ -99,7 +99,6 @@ impl ReliabilityReport {
         rates: &OutOfStepRates,
     ) -> Self {
         assert!(intensity >= 0.0, "intensity must be non-negative");
-        let code = kind.code();
         let mut sdc = 0.0;
         let mut due = 0.0;
         let mut corrections = 0.0;
@@ -109,14 +108,15 @@ impl ReliabilityReport {
                 if p <= 0.0 {
                     continue;
                 }
-                match code {
-                    None => sdc += p,
-                    Some(code) => match code.classify_offset(k as i32) {
-                        Verdict::Clean => sdc += p,
-                        Verdict::Correctable(c) if c == k as i32 => corrections += p,
-                        Verdict::Correctable(_) => sdc += p,
-                        Verdict::Uncorrectable => due += p,
-                    },
+                // Kind-level classification covers the cyclic family
+                // (with its aliasing) and the stream codecs (which
+                // never alias) alike; an unprotected kind classifies
+                // everything Clean, i.e. silent.
+                match kind.classify_offset(k as i32) {
+                    Verdict::Clean => sdc += p,
+                    Verdict::Correctable(c) if c == k as i32 => corrections += p,
+                    Verdict::Correctable(_) => sdc += p,
+                    Verdict::Uncorrectable => due += p,
                 }
             }
         }
